@@ -1,0 +1,190 @@
+// Command diurnalscan runs the full activity-inference pipeline over a
+// simulated world and reports what it finds: per-gridcell change-sensitive
+// populations and the days on which human activity dropped.
+//
+// Usage:
+//
+//	diurnalscan [-blocks N] [-seed S] [-observers K]
+//	            [-start YYYY-MM-DD] [-end YYYY-MM-DD] [-calendar 2020|2023|none]
+//	            [-cells N] [-days N] [-region CODE]
+//
+// Example: the first Covid quarter at moderate scale.
+//
+//	diurnalscan -blocks 2000 -start 2020-01-01 -end 2020-04-22
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/diurnalnet/diurnal"
+	"github.com/diurnalnet/diurnal/internal/changepoint"
+	"github.com/diurnalnet/diurnal/internal/render"
+)
+
+func parseDate(s string) (int64, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return 0, err
+	}
+	return t.Unix(), nil
+}
+
+func main() {
+	blocks := flag.Int("blocks", 1000, "number of /24 blocks to simulate")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	observers := flag.Int("observers", 4, "probing sites (1-6)")
+	startStr := flag.String("start", "2020-01-01", "window start (UTC)")
+	endStr := flag.String("end", "2020-04-22", "window end (UTC)")
+	calendar := flag.String("calendar", "2020", "event calendar: 2020, 2023 or none")
+	topCells := flag.Int("cells", 10, "number of gridcells to report")
+	topDays := flag.Int("days", 5, "number of peak days per gridcell")
+	region := flag.String("region", "", "report only blocks of this region code (e.g. CN-WUH)")
+	saveDir := flag.String("save", "", "also archive raw observations into this directory")
+	reportPath := flag.String("report", "", "write a markdown report to this file")
+	flag.Parse()
+
+	start, err := parseDate(*startStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -start: %v\n", err)
+		os.Exit(2)
+	}
+	end, err := parseDate(*endStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -end: %v\n", err)
+		os.Exit(2)
+	}
+	var cal *diurnal.Calendar
+	switch *calendar {
+	case "2020":
+		cal = diurnal.Calendar2020()
+	case "2023":
+		cal = diurnal.Calendar2023()
+	case "none":
+	default:
+		fmt.Fprintf(os.Stderr, "bad -calendar %q\n", *calendar)
+		os.Exit(2)
+	}
+
+	world, err := diurnal.NewWorld(diurnal.WorldOptions{
+		Blocks:    *blocks,
+		Seed:      *seed,
+		Calendar:  cal,
+		Start:     start,
+		End:       end,
+		Observers: *observers,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := diurnal.DefaultConfig(start, end)
+	// Classify on the first four weeks, the paper's pre-Covid baseline.
+	cfg.BaselineStart = start
+	if end-start > 28*diurnal.SecondsPerDay {
+		cfg.BaselineEnd = start + 28*diurnal.SecondsPerDay
+	} else {
+		cfg.BaselineEnd = end
+	}
+	began := time.Now()
+	report, err := world.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *saveDir != "" {
+		if err := saveObservations(*saveDir, world, start, end); err != nil {
+			fmt.Fprintln(os.Stderr, "saving observations:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("raw observations archived to %s\n", *saveDir)
+	}
+	if *reportPath != "" {
+		if err := writeMarkdownReport(*reportPath, world, report, start, end); err != nil {
+			fmt.Fprintln(os.Stderr, "writing report:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("markdown report written to %s\n", *reportPath)
+	}
+
+	responsive := 0
+	for _, st := range report.Cells {
+		responsive += st.Responsive
+	}
+	fmt.Printf("simulated %d /24 blocks over %s .. %s with %d observers (%.1fs)\n",
+		world.Size(), *startStr, *endStr, *observers, time.Since(began).Seconds())
+	fmt.Printf("responsive: %d   change-sensitive: %d   gridcells: %d\n\n",
+		responsive, report.ChangeSensitiveCount(), len(report.Cells))
+
+	if *region != "" {
+		reportRegion(world, report, *region)
+		return
+	}
+
+	mapValues := map[diurnal.CellKey]int{}
+	for cell, n := range report.CellCS {
+		mapValues[cell] = n
+	}
+	fmt.Println("change-sensitive blocks by gridcell:")
+	fmt.Println(render.WorldMap(mapValues))
+
+	fmt.Printf("top gridcells by change-sensitive blocks:\n")
+	startDay := start / diurnal.SecondsPerDay
+	endDay := end / diurnal.SecondsPerDay
+	for _, cell := range report.TopCells(*topCells) {
+		fmt.Printf("  %s — %d change-sensitive of %d responsive\n",
+			cell, report.CellCS[cell], report.Cells[cell].Responsive)
+		series := report.CellFractionSeries(cell, changepoint.Down, startDay, endDay)
+		type dayFrac struct {
+			day  int64
+			frac float64
+		}
+		var peaks []dayFrac
+		for i, v := range series {
+			if v > 0 {
+				peaks = append(peaks, dayFrac{startDay + int64(i), v})
+			}
+		}
+		sort.Slice(peaks, func(a, b int) bool {
+			if peaks[a].frac != peaks[b].frac {
+				return peaks[a].frac > peaks[b].frac
+			}
+			return peaks[a].day < peaks[b].day
+		})
+		if len(peaks) > *topDays {
+			peaks = peaks[:*topDays]
+		}
+		for _, p := range peaks {
+			fmt.Printf("      %s  %4.1f%% of blocks trending down\n",
+				time.Unix(p.day*diurnal.SecondsPerDay, 0).UTC().Format("2006-01-02"), 100*p.frac)
+		}
+	}
+}
+
+// reportRegion prints per-block detections for one region.
+func reportRegion(world *diurnal.World, report *diurnal.Report, code string) {
+	idxs := world.BlocksInRegion(code)
+	if len(idxs) == 0 {
+		fmt.Printf("no blocks in region %s\n", code)
+		return
+	}
+	fmt.Printf("region %s: %d blocks\n", code, len(idxs))
+	for _, i := range idxs {
+		b, _, cell := world.BlockAt(i)
+		a := report.Blocks[i].Analysis
+		if a == nil || !a.Class.ChangeSensitive {
+			continue
+		}
+		fmt.Printf("  %v %s  diurnal score %.2f  profile %s\n", b.ID, cell, a.Class.DiurnalScore, a.Profile())
+		for _, c := range a.Changes {
+			fmt.Printf("      %-4s change around %s (onset %s, settled %s, %+.1f addresses)\n",
+				c.Dir, time.Unix(c.Point, 0).UTC().Format("2006-01-02"),
+				time.Unix(c.Start, 0).UTC().Format("01-02"),
+				time.Unix(c.End, 0).UTC().Format("01-02"),
+				c.RawAmplitude)
+		}
+	}
+}

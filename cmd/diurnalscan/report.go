@@ -1,0 +1,98 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/diurnalnet/diurnal"
+	"github.com/diurnalnet/diurnal/internal/changepoint"
+	"github.com/diurnalnet/diurnal/internal/dataset"
+	"github.com/diurnalnet/diurnal/internal/geo"
+	"github.com/diurnalnet/diurnal/internal/render"
+)
+
+// saveObservations archives the raw probe streams of every block into a
+// replayable dataset store.
+func saveObservations(dir string, world *diurnal.World, start, end int64) error {
+	spec := dataset.Spec{
+		Name:  fmt.Sprintf("diurnalscan-%s", time.Unix(start, 0).UTC().Format("20060102")),
+		Start: start,
+		Weeks: int((end - start) / (7 * diurnal.SecondsPerDay)),
+	}
+	if spec.Weeks < 1 {
+		spec.Weeks = 1
+	}
+	for range world.Engine().Observers {
+		spec.Sites = append(spec.Sites, "x")
+	}
+	blocks := make([]*dataset.WorldBlock, 0, world.Size())
+	for i := 0; i < world.Size(); i++ {
+		b, code, cell := world.BlockAt(i)
+		_ = code
+		_ = cell
+		blocks = append(blocks, &dataset.WorldBlock{Block: b})
+	}
+	_, err := dataset.CreateStore(dir, spec, world.Engine(), blocks)
+	return err
+}
+
+// writeMarkdownReport renders the run's findings as a self-contained
+// markdown document: summary, world map, per-continent sparklines, and the
+// busiest gridcells — the textual analogue of the paper's public website
+// (§2.9).
+func writeMarkdownReport(path string, world *diurnal.World, report *diurnal.Report, start, end int64) error {
+	var b strings.Builder
+	day := func(t int64) string { return time.Unix(t, 0).UTC().Format("2006-01-02") }
+	startDay, endDay := start/diurnal.SecondsPerDay, end/diurnal.SecondsPerDay
+
+	fmt.Fprintf(&b, "# Internet activity-change report, %s — %s\n\n", day(start), day(end))
+	responsive := 0
+	for _, st := range report.Cells {
+		responsive += st.Responsive
+	}
+	fmt.Fprintf(&b, "%d simulated /24 blocks; %d responsive; %d change-sensitive across %d gridcells.\n\n",
+		world.Size(), responsive, report.ChangeSensitiveCount(), len(report.CellCS))
+
+	fmt.Fprintf(&b, "## Change-sensitive blocks by gridcell\n\n```\n")
+	values := map[diurnal.CellKey]int{}
+	for cell, n := range report.CellCS {
+		values[cell] = n
+	}
+	b.WriteString(render.WorldMap(values))
+	fmt.Fprintf(&b, "```\n\n")
+
+	fmt.Fprintf(&b, "## Daily downward-change fraction by continent\n\n")
+	fmt.Fprintf(&b, "| continent | change-sensitive blocks | daily trend | peak day |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|\n")
+	for _, cont := range geo.Continents() {
+		series := report.ContinentFractionSeries(cont, startDay, endDay)
+		peakDay, peak := "-", 0.0
+		for i, v := range series {
+			if v > peak {
+				peak, peakDay = v, day((startDay+int64(i))*diurnal.SecondsPerDay)
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %d | `%s` | %s |\n",
+			cont, report.ContinentCS[cont], render.Sparkline(series, 40), peakDay)
+	}
+	b.WriteString("\n")
+
+	fmt.Fprintf(&b, "## Busiest gridcells\n\n")
+	fmt.Fprintf(&b, "| gridcell | change-sensitive | daily downward trend | peak day |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|\n")
+	for _, cell := range report.TopCells(12) {
+		series := report.CellFractionSeries(cell, changepoint.Down, startDay, endDay)
+		peakDay, peak := "-", 0.0
+		for i, v := range series {
+			if v > peak {
+				peak, peakDay = v, day((startDay+int64(i))*diurnal.SecondsPerDay)
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %d | `%s` | %s |\n",
+			cell, report.CellCS[cell], render.Sparkline(series, 40), peakDay)
+	}
+	b.WriteString("\n")
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

@@ -1,0 +1,121 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated substrate and prints them as text.
+//
+// Usage:
+//
+//	experiments [-blocks N] [-seed S] [-only table2,figure8] [-list]
+//
+// With no -only flag every experiment runs, in the paper's order. Larger
+// -blocks values sharpen the statistics at the cost of runtime; the
+// defaults regenerate everything in a few minutes on a laptop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/diurnalnet/diurnal/internal/experiments"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(experiments.Options) (fmt.Stringer, error)
+}
+
+// wrap adapts a typed experiment constructor to the generic runner.
+func wrap[T fmt.Stringer](fn func(experiments.Options) (T, error)) func(experiments.Options) (fmt.Stringer, error) {
+	return func(o experiments.Options) (fmt.Stringer, error) {
+		r, err := fn(o)
+		return r, err
+	}
+}
+
+func catalog() []experiment {
+	return []experiment{
+		{"table2", "blocks before and after filtering (Table 2)", wrap(experiments.Table2)},
+		{"table3", "reconstruction vs survey ground truth (Table 3)", wrap(experiments.Table3)},
+		{"table4", "geographic coverage (Table 4)", wrap(experiments.Table4)},
+		{"table5", "validation of sampled blocks (Table 5)", wrap(experiments.Table5)},
+		{"location", "validation by location, UAE and Slovenia (§3.7)", wrap(experiments.LocationValidation)},
+		{"figure1", "example block analysis (Figure 1)", wrap(experiments.Figure1)},
+		{"figure2", "incremental reconstruction walk-through (Figure 2)", wrap(experiments.Figure2)},
+		{"figure3", "full-block-scan time CDF (Figure 3)", wrap(experiments.Figure3)},
+		{"figure4", "reconstruction vs truth, easy and hard blocks (Figure 4)", wrap(experiments.Figure4)},
+		{"figure5", "classification failures heatmap (Figure 5)", wrap(experiments.Figure5)},
+		{"figure6", "congestive loss and 1-loss repair (Figure 6)", wrap(experiments.Figure6)},
+		{"figure7", "where change-sensitive blocks are (Figure 7)", wrap(experiments.Figure7)},
+		{"figure8", "continental trends 2020h1 (Figure 8)", wrap(experiments.Figure8)},
+		{"figure9", "China in January 2020 (Figure 9)", wrap(experiments.Figure9)},
+		{"figure10", "India in February and March 2020 (Figure 10)", wrap(experiments.Figure10)},
+		{"figure11", "two representative blocks (Figure 11, Appendix B.1)", wrap(experiments.Figure11)},
+		{"figure12", "Beijing 2023q1 control (Figure 12)", wrap(experiments.Figure12)},
+		{"figure13", "New Delhi 2023q1 null control (Figure 13)", wrap(experiments.Figure13)},
+		{"figure14", "gridcell threshold sensitivity (Figure 14)", wrap(experiments.Figure14)},
+		{"figure15", "VPN block migration (Figure 15)", wrap(experiments.Figure15)},
+		{"fbs", "full-block-scan time model (§3.2.3)", wrap(experiments.FBSModel)},
+		{"extraprobing", "additional observations end-to-end (§2.8)", wrap(experiments.ExtraProbing)},
+		{"observerhealth", "observer cross-check, broken-site exclusion (§2.7)", wrap(experiments.ObserverHealth)},
+		{"profiles", "workplace vs home profiling, §2.6 future work", wrap(experiments.ProfileSeparation)},
+		{"ablation-stl", "STL vs naive decomposition under outliers (§2.5)", wrap(experiments.AblationSTLvsNaive)},
+		{"ablation-swing", "swing-threshold sweep (§2.4)", wrap(experiments.AblationSwing)},
+		{"ablation-repair", "1-loss repair under loss sweep (§3.3)", wrap(experiments.AblationLossRepair)},
+		{"ablation-persistence", "persistence-rule sweep (§2.4)", wrap(experiments.AblationPersistence)},
+		{"ablation-outagefilter", "pair filter vs belief-based outage masking (§2.6)", wrap(experiments.AblationOutageFilter)},
+	}
+}
+
+func main() {
+	blocks := flag.Int("blocks", 0, "world size override (0 = per-experiment default)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	only := flag.String("only", "", "comma-separated experiment names (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	cat := catalog()
+	if *list {
+		for _, e := range cat {
+			fmt.Printf("%-22s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		for name := range want {
+			found := false
+			for _, e := range cat {
+				if e.name == name {
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+	opts := experiments.Options{Blocks: *blocks, Seed: *seed}
+	failed := false
+	for _, e := range cat {
+		if len(want) > 0 && !want[e.name] {
+			continue
+		}
+		started := time.Now()
+		res, err := e.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", e.name, time.Since(started).Seconds(), res)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

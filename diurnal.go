@@ -1,0 +1,222 @@
+// Package diurnal infers changes in daily human activity from Internet
+// address responsiveness, reproducing the pipeline of Song, Baltra and
+// Heidemann, "Inferring Changes in Daily Human Activity from Internet
+// Response" (ACM IMC 2023).
+//
+// The pipeline turns repeated ICMP-style probes of /24 IPv4 blocks into
+// detected human-activity changes:
+//
+//  1. reconstruct per-block active-address counts from incremental probe
+//     rounds (with 1-loss repair for congested links),
+//  2. keep only change-sensitive blocks — diurnal (FFT energy at 24 h)
+//     with a persistent wide daily swing,
+//  3. extract the long-term trend with STL,
+//  4. detect changes with CUSUM on the normalized trend (filtering
+//     outage-like down/up pairs), and
+//  5. aggregate downward changes by 2×2° gridcell and continent.
+//
+// Because live Trinocular data is not available offline, the package ships
+// a deterministic synthetic Internet (a world atlas of address-usage
+// archetypes plus a calendar of real-world events such as the 2020
+// work-from-home wave) that exercises the identical code paths. Callers
+// with their own measurements can enter the pipeline at any stage: raw
+// probe records via AnalyzeRecords, or an already reconstructed series via
+// AnalyzeSeries.
+//
+// Quick start:
+//
+//	world, _ := diurnal.NewWorld(diurnal.WorldOptions{
+//	    Blocks: 500, Seed: 1, Calendar: diurnal.Calendar2020(),
+//	    Start: diurnal.Date(2020, 1, 1), End: diurnal.Date(2020, 3, 25),
+//	})
+//	report, _ := world.Run(diurnal.DefaultConfig(world.Start(), world.End()))
+//	fmt.Println(report.ChangeSensitiveCount(), "change-sensitive blocks")
+package diurnal
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/diurnalnet/diurnal/internal/core"
+	"github.com/diurnalnet/diurnal/internal/dataset"
+	"github.com/diurnalnet/diurnal/internal/events"
+	"github.com/diurnalnet/diurnal/internal/geo"
+	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/probe"
+	"github.com/diurnalnet/diurnal/internal/reconstruct"
+)
+
+// Re-exported pipeline types. Aliases keep the full functionality of the
+// internal implementation available through the public API.
+type (
+	// Config parameterizes the analysis pipeline (windows, thresholds,
+	// CUSUM settings).
+	Config = core.Config
+	// BlockAnalysis is the per-block pipeline output: reconstruction,
+	// classification, trend, and detected changes.
+	BlockAnalysis = core.BlockAnalysis
+	// Change is one detected activity change with wall-clock boundaries.
+	Change = core.Change
+	// Report aggregates a world-scale run: per-block outcomes, gridcell
+	// statistics, and daily down/up counts.
+	Report = core.WorldResult
+	// Series is a reconstructed active-address count over time.
+	Series = reconstruct.Series
+	// Record is one probe observation (time, address, responded).
+	Record = probe.Record
+	// Calendar maps world regions to scheduled ground-truth events.
+	Calendar = events.Calendar
+	// CellKey identifies a 2×2° geographic gridcell.
+	CellKey = geo.CellKey
+	// Continent is the coarse aggregation level of Figure 8.
+	Continent = geo.Continent
+	// Block is one simulated /24 network.
+	Block = netsim.Block
+	// Observer is a probing site.
+	Observer = probe.Observer
+	// Engine drives multi-observer probing of a block.
+	Engine = probe.Engine
+	// ProfileKind tells workplace-schedule blocks from home-schedule ones
+	// (the paper's §2.6 future work, via BlockAnalysis.Profile).
+	ProfileKind = core.ProfileKind
+)
+
+// Profile kinds, re-exported for callers of BlockAnalysis.Profile.
+const (
+	ProfileUnknown   = core.ProfileUnknown
+	ProfileWorkplace = core.ProfileWorkplace
+	ProfileHome      = core.ProfileHome
+	ProfileMixed     = core.ProfileMixed
+)
+
+// DefaultConfig returns the paper's analysis configuration for a window.
+func DefaultConfig(start, end int64) Config { return core.DefaultConfig(start, end) }
+
+// Calendar2020 returns the 2020h1 ground-truth calendar (Covid WFH wave,
+// Spring Festival, holidays, curfews).
+func Calendar2020() *Calendar { return events.Year2020() }
+
+// Calendar2023 returns the 2023q1 control calendar (Spring Festival only).
+func Calendar2023() *Calendar { return events.Year2023() }
+
+// Date returns the Unix timestamp of midnight UTC on the given date.
+func Date(year, month, day int) int64 {
+	return netsim.Date(year, time.Month(month), day)
+}
+
+// SecondsPerDay is the length of a UTC day in seconds.
+const SecondsPerDay = netsim.SecondsPerDay
+
+// WorldOptions configures a synthetic world.
+type WorldOptions struct {
+	// Blocks is the number of /24 networks to simulate.
+	Blocks int
+	// Seed makes the world deterministic.
+	Seed uint64
+	// Calendar schedules ground-truth events (nil for a quiet world).
+	Calendar *Calendar
+	// Start and End bound the simulation window (Unix seconds, UTC).
+	Start, End int64
+	// Observers is the number of probing sites (1–6, default 4).
+	Observers int
+	// DisableNoise turns off random background outages and renumbering.
+	DisableNoise bool
+}
+
+// World is a simulated Internet with its probing infrastructure.
+type World struct {
+	blocks []*dataset.WorldBlock
+	engine *probe.Engine
+	opts   WorldOptions
+}
+
+// NewWorld builds a deterministic synthetic world.
+func NewWorld(opts WorldOptions) (*World, error) {
+	if opts.Observers == 0 {
+		opts.Observers = 4
+	}
+	if opts.Observers < 1 || opts.Observers > 6 {
+		return nil, fmt.Errorf("diurnal: Observers must be 1..6, got %d", opts.Observers)
+	}
+	wo := dataset.WorldOpts{
+		Blocks:   opts.Blocks,
+		Seed:     opts.Seed,
+		Calendar: opts.Calendar,
+		Start:    opts.Start,
+		End:      opts.End,
+	}
+	if opts.DisableNoise {
+		wo.OutageProb = -1
+		wo.RenumberProb = -1
+	}
+	blocks, err := dataset.BuildWorld(wo)
+	if err != nil {
+		return nil, err
+	}
+	return &World{
+		blocks: blocks,
+		engine: &probe.Engine{
+			Observers:   probe.StandardObservers(opts.Observers),
+			QuarterSeed: netsim.Hash64(opts.Seed, 0x5eed),
+		},
+		opts: opts,
+	}, nil
+}
+
+// Start returns the world's window start.
+func (w *World) Start() int64 { return w.opts.Start }
+
+// End returns the world's window end.
+func (w *World) End() int64 { return w.opts.End }
+
+// Size returns the number of simulated blocks.
+func (w *World) Size() int { return len(w.blocks) }
+
+// Engine exposes the world's probing engine for advanced use.
+func (w *World) Engine() *Engine { return w.engine }
+
+// BlockAt returns the i-th simulated block with its region code and
+// gridcell.
+func (w *World) BlockAt(i int) (b *Block, region string, cell CellKey) {
+	wb := w.blocks[i]
+	return wb.Block, wb.Place.Region.Code, wb.Place.Cell
+}
+
+// BlocksInRegion returns the indices of blocks placed in the region code.
+func (w *World) BlocksInRegion(code string) []int {
+	var out []int
+	for i, wb := range w.blocks {
+		if wb.Place.Region.Code == code {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Run probes and analyzes the whole world under cfg.
+func (w *World) Run(cfg Config) (*Report, error) {
+	p := &core.Pipeline{Config: cfg, Engine: w.engine}
+	return p.Run(w.blocks)
+}
+
+// AnalyzeBlock runs the pipeline on a single simulated block.
+func AnalyzeBlock(cfg Config, eng *Engine, b *Block) (*BlockAnalysis, error) {
+	return cfg.AnalyzeBlock(eng, b)
+}
+
+// AnalyzeRecords enters the pipeline with raw per-observer probe records
+// and the block's ever-active target list.
+func AnalyzeRecords(cfg Config, perObserver [][]Record, everActive []int) (*BlockAnalysis, error) {
+	return cfg.AnalyzeRecords(perObserver, everActive)
+}
+
+// AnalyzeSeries enters the pipeline with an already reconstructed
+// active-address series (times in Unix seconds, counts of active
+// addresses).
+func AnalyzeSeries(cfg Config, times []int64, counts []float64) (*BlockAnalysis, error) {
+	if len(times) != len(counts) {
+		return nil, fmt.Errorf("diurnal: %d times but %d counts", len(times), len(counts))
+	}
+	s := &reconstruct.Series{Times: times, Counts: counts}
+	return cfg.AnalyzeSeries(s)
+}

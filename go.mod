@@ -1,0 +1,3 @@
+module github.com/diurnalnet/diurnal
+
+go 1.22

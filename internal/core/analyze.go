@@ -1,0 +1,486 @@
+// Package core implements the paper's primary contribution: the analysis
+// pipeline that turns raw probe observations into detected changes in
+// daily human activity (Table 1). Per block it reconstructs active-address
+// counts (§2.3, with 1-loss repair), classifies change sensitivity (§2.4),
+// extracts the long-term trend with STL (§2.5), and detects changes with
+// CUSUM on the normalized trend (§2.6) with outage-pair filtering. Across
+// blocks it aggregates downward changes into 2×2° gridcells and continents
+// (§2.6, §4.1).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/diurnalnet/diurnal/internal/blockclass"
+	"github.com/diurnalnet/diurnal/internal/changepoint"
+	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/outage"
+	"github.com/diurnalnet/diurnal/internal/probe"
+	"github.com/diurnalnet/diurnal/internal/reconstruct"
+	"github.com/diurnalnet/diurnal/internal/stl"
+)
+
+// Config parameterizes the per-block analysis. Zero fields default to the
+// paper's choices.
+type Config struct {
+	// AnalysisStart and AnalysisEnd bound the trend/change analysis
+	// window (e.g. 2020h1). Required.
+	AnalysisStart, AnalysisEnd int64
+	// BaselineStart and BaselineEnd bound the change-sensitivity
+	// classification window; the paper uses January 2020 "since it is
+	// before Covid was widespread" (§2.4). Zero values reuse the analysis
+	// window.
+	BaselineStart, BaselineEnd int64
+	// SampleStep is the resampling interval for trend analysis in
+	// seconds; it must divide 86400 (default 3600).
+	SampleStep int64
+	// Repair enables 1-loss repair (default on via DefaultConfig).
+	Repair bool
+	// Class holds the change-sensitivity thresholds.
+	Class blockclass.Config
+	// CUSUM holds the change-detection parameters (paper: threshold 1,
+	// drift 0.001 per 11-minute round; default here threshold 1, drift
+	// 0.002 per hourly sample — see withDefaults).
+	CUSUM changepoint.Opts
+	// OutageGapDays bounds how close a down→up pair must be to be
+	// discarded as an outage or renumbering artifact on timing alone
+	// (default 3). Longer outages are handled by the Trinocular-style
+	// belief detector instead (§2.6: changes are compared "with outage
+	// detections"), which distinguishes a silenced block from a holiday —
+	// during a holiday the always-on addresses keep answering.
+	OutageGapDays int
+	// OutageMaskMinHours is the minimum duration of a belief-detected
+	// outage used to mask changes (default 24; shorter non-response spans
+	// are diurnal artifacts in blocks without always-on addresses).
+	// Negative disables belief-based masking.
+	OutageMaskMinHours int
+	// MinChangeAddresses is the minimum absolute trend movement, in
+	// addresses, for a change to be kept. It echoes the paper's swing
+	// threshold s=5 — smaller moves are indistinguishable from "noise
+	// such as individual computer restarts" (§2.4) even when the z-scored
+	// CUSUM flags them. Because the trend is a weekly mean, a drop of s
+	// addresses confined to the ~40 working hours of a week dilutes to
+	// s*40/168 ≈ 1.2 in trend units, which is the default. Negative
+	// disables.
+	MinChangeAddresses float64
+	// BoundaryGuardDays drops changes whose point falls within this many
+	// days of the analysis window's edges, where STL trends and the
+	// CUSUM backward pass are unreliable. The paper likewise excludes
+	// detections overlapping "transients at the change of quarter"
+	// (§3.6). Default 4; negative disables.
+	BoundaryGuardDays int
+	// STLOuter is the number of STL robustness iterations (default 1).
+	STLOuter int
+}
+
+// DefaultConfig returns the paper's configuration for a given analysis
+// window.
+func DefaultConfig(start, end int64) Config {
+	return Config{
+		AnalysisStart:      start,
+		AnalysisEnd:        end,
+		SampleStep:         3600,
+		Repair:             true,
+		Class:              blockclass.Default(),
+		OutageGapDays:      3,
+		OutageMaskMinHours: 24,
+		BoundaryGuardDays:  4,
+		MinChangeAddresses: 1.2,
+		STLOuter:           1,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.SampleStep == 0 {
+		c.SampleStep = 3600
+	}
+	if c.BaselineStart == 0 && c.BaselineEnd == 0 {
+		c.BaselineStart, c.BaselineEnd = c.AnalysisStart, c.AnalysisEnd
+	}
+	if c.CUSUM.Threshold == 0 {
+		c.CUSUM = changepoint.DefaultOpts()
+		// The drift per hourly sample is chosen so that (a) a real change
+		// of ~2.5 sigma completing within a week or two still accumulates
+		// past the threshold, while (b) the slow ±2-sigma wander that
+		// z-normalization guarantees for no-change blocks is absorbed
+		// (2 sigma over two weeks = 336 samples x 0.004 = 1.34 absorbed).
+		// It plays the role of the paper's 0.001-per-11-minute-round drift
+		// at that data's much higher sample rate.
+		c.CUSUM.Drift = 0.004
+	}
+	if c.OutageGapDays == 0 {
+		c.OutageGapDays = 3
+	}
+	if c.OutageMaskMinHours == 0 {
+		c.OutageMaskMinHours = 24
+	}
+	if c.BoundaryGuardDays == 0 {
+		c.BoundaryGuardDays = 4
+	}
+	if c.MinChangeAddresses == 0 {
+		c.MinChangeAddresses = 1.2
+	}
+	if c.STLOuter == 0 {
+		c.STLOuter = 1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.AnalysisEnd <= c.AnalysisStart {
+		return fmt.Errorf("core: empty analysis window [%d,%d)", c.AnalysisStart, c.AnalysisEnd)
+	}
+	if c.SampleStep <= 0 || netsim.SecondsPerDay%c.SampleStep != 0 {
+		return fmt.Errorf("core: sample step %d must divide 86400", c.SampleStep)
+	}
+	if c.BaselineEnd < c.BaselineStart {
+		return fmt.Errorf("core: invalid baseline window")
+	}
+	return nil
+}
+
+// Change is one detected change in a block's activity, in wall-clock time.
+type Change struct {
+	Dir changepoint.Direction
+	// Start, Alarm, and End are the detected change boundaries; Point is
+	// the estimated moment of steepest trend movement between Start and
+	// End — the paper's "point of change" (Figure 1c).
+	Start, Alarm, End, Point int64
+	// Amplitude is the z-scored trend movement across the change;
+	// RawAmplitude is the same movement in addresses.
+	Amplitude    float64
+	RawAmplitude float64
+}
+
+// BlockAnalysis is the per-block pipeline output.
+type BlockAnalysis struct {
+	// Series is the reconstructed active-address series.
+	Series *reconstruct.Series
+	// Class is the change-sensitivity classification over the baseline
+	// window.
+	Class blockclass.Result
+	// Resampled, Trend, Seasonal and Normalized are the analysis-window
+	// series at SampleStep resolution (nil for non-analyzable blocks).
+	Resampled, Trend, Seasonal, Normalized []float64
+	// Changes are the CUSUM detections that survive outage filtering;
+	// OutagePairs holds the removed changes (paired down/up transients
+	// and changes masked by detected outages).
+	Changes     []Change
+	OutagePairs []Change
+	// Outages are the belief-detected outage intervals used for masking.
+	Outages []outage.Interval
+	// SampleStart and SampleStep map sample indices to timestamps.
+	SampleStart, SampleStep int64
+}
+
+// DownChanges returns only the downward changes — the human-activity
+// signal the paper aggregates.
+func (a *BlockAnalysis) DownChanges() []Change {
+	var out []Change
+	for _, c := range a.Changes {
+		if c.Dir == changepoint.Down {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// AnalyzeRecords runs the full per-block pipeline over per-observer probe
+// streams. eb is the block's target list E(b). Blocks that are not
+// change-sensitive still get a Series and Class but no trend analysis.
+func (cfg Config) AnalyzeRecords(perObs [][]probe.Record, eb []int) (*BlockAnalysis, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(eb) == 0 {
+		return &BlockAnalysis{Series: &reconstruct.Series{}}, nil
+	}
+	if cfg.Repair {
+		for _, stream := range perObs {
+			reconstruct.Repair1Loss(stream)
+		}
+	}
+	merged := reconstruct.Merge(perObs)
+	series, err := reconstruct.Reconstruct(merged, eb)
+	if err != nil {
+		return nil, err
+	}
+	return cfg.analyzeSeries(series, cfg.detectOutages(merged))
+}
+
+// AnalyzeSeries runs classification and change detection over an already
+// reconstructed active-address series — the entry point for callers who
+// bring their own measurements instead of the simulated prober. Without
+// raw probe records, belief-based outage masking is unavailable and only
+// the timing-based pair filter applies.
+func (cfg Config) AnalyzeSeries(series *reconstruct.Series) (*BlockAnalysis, error) {
+	return cfg.analyzeSeries(series, nil)
+}
+
+func (cfg Config) analyzeSeries(series *reconstruct.Series, outages []outage.Interval) (*BlockAnalysis, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cls, err := blockclass.Classify(series, cfg.BaselineStart, cfg.BaselineEnd, cfg.Class)
+	if err != nil {
+		return nil, err
+	}
+	out := &BlockAnalysis{
+		Series:      series,
+		Class:       cls,
+		Outages:     outages,
+		SampleStart: cfg.AnalysisStart,
+		SampleStep:  cfg.SampleStep,
+	}
+	if !cls.ChangeSensitive {
+		return out, nil
+	}
+	if err := cfg.analyzeTrend(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// detectOutages runs the Trinocular belief detector over the merged probe
+// stream and keeps intervals long enough to mask trend changes.
+func (cfg Config) detectOutages(merged []probe.Record) []outage.Interval {
+	if cfg.OutageMaskMinHours < 0 {
+		return nil
+	}
+	intervals, err := outage.FromRecords(merged, 0, outage.Params{})
+	if err != nil {
+		return nil
+	}
+	minDur := int64(cfg.OutageMaskMinHours) * 3600
+	var kept []outage.Interval
+	for _, iv := range intervals {
+		// Open intervals (never recovered within the window) are not
+		// transient failures but decommissionings or migrations — genuine
+		// usage changes the paper reports (the Appendix B.2 VPN block).
+		if iv.End == 0 {
+			continue
+		}
+		if iv.End-iv.Start >= minDur {
+			kept = append(kept, iv)
+		}
+	}
+	return kept
+}
+
+// analyzeTrend fills the STL/CUSUM stages of a change-sensitive block.
+// The seasonal period is one week: the paper's seasonality model captures
+// "a daily and possibly weekly signal" (§2.5), and a weekly period absorbs
+// both the five workday bumps and the weekend flats (Figure 1a) so the
+// trend carries only the long-term baseline.
+func (cfg Config) analyzeTrend(out *BlockAnalysis) error {
+	resampled := out.Series.Resample(cfg.AnalysisStart, cfg.AnalysisEnd, cfg.SampleStep)
+	if resampled == nil {
+		return nil
+	}
+	period := int(7 * netsim.SecondsPerDay / cfg.SampleStep)
+	if len(resampled) < 2*period {
+		return nil
+	}
+	opts := stl.DefaultOpts(period)
+	opts.Outer = cfg.STLOuter
+	// A tighter trend smoother (~8 days instead of Cleveland's default
+	// ~2 weeks) keeps step changes sharp enough for CUSUM while the
+	// weekly seasonal component still absorbs the workday/weekend cycle.
+	opts.Trend = period + 25
+	// Periodic seasonal: level changes go to the trend, matching the
+	// paper's Figure 1b decomposition.
+	opts.Periodic = true
+	dec, err := stl.Decompose(resampled, opts)
+	if err != nil {
+		return fmt.Errorf("core: stl: %w", err)
+	}
+	out.Resampled = resampled
+	out.Trend = dec.Trend
+	out.Seasonal = dec.Seasonal
+	out.Normalized = changepoint.Normalize(dec.Trend)
+	changes, err := changepoint.Detect(out.Normalized, cfg.CUSUM)
+	if err != nil {
+		return fmt.Errorf("core: cusum: %w", err)
+	}
+	samplesPerDay := int(netsim.SecondsPerDay / cfg.SampleStep)
+	if cfg.BoundaryGuardDays > 0 {
+		guard := cfg.BoundaryGuardDays * samplesPerDay
+		trimmed := changes[:0]
+		for _, c := range changes {
+			// A change whose estimated onset sits in the first or last few
+			// days of the window is indistinguishable from an STL edge
+			// artifact.
+			if c.Start < guard || c.Start >= len(out.Trend)-guard {
+				continue
+			}
+			trimmed = append(trimmed, c)
+		}
+		changes = trimmed
+	}
+	all := suppressRebounds(cfg.toWallClock(changes, out))
+	gap := int64(cfg.OutageGapDays) * netsim.SecondsPerDay
+	kept2, removed := filterOutagePairs(all, gap)
+	// Belief-based masking (§2.6): a change overlapping a detected outage
+	// interval (± one day of trend smearing) is a network failure, not a
+	// human-activity change.
+	const slop = netsim.SecondsPerDay
+	for _, c := range kept2 {
+		masked := false
+		for _, iv := range out.Outages {
+			if c.End >= iv.Start-slop && c.Start <= iv.End+slop {
+				masked = true
+				break
+			}
+		}
+		if masked {
+			removed = append(removed, c)
+		} else {
+			out.Changes = append(out.Changes, c)
+		}
+	}
+	out.OutagePairs = removed
+	return nil
+}
+
+// filterOutagePairs removes down→up (or up→down) pairs whose alarms fall
+// within maxGap of each other and whose magnitudes are comparable — the
+// signature of an outage or an ISP renumbering event, where the recovery
+// undoes the drop (§2.6). A sustained human change followed by a small
+// unrelated move is not paired.
+func filterOutagePairs(changes []Change, maxGap int64) (kept, removed []Change) {
+	used := make([]bool, len(changes))
+	comparable := func(a, b Change) bool {
+		x, y := math.Abs(a.RawAmplitude), math.Abs(b.RawAmplitude)
+		if x > y {
+			x, y = y, x
+		}
+		return y == 0 || x >= 0.6*y
+	}
+	for i := range changes {
+		if used[i] {
+			continue
+		}
+		paired := false
+		for j := i + 1; j < len(changes); j++ {
+			if used[j] {
+				continue
+			}
+			if changes[j].Alarm-changes[i].Alarm > maxGap {
+				break
+			}
+			if changes[j].Dir == -changes[i].Dir && comparable(changes[i], changes[j]) {
+				used[i], used[j] = true, true
+				removed = append(removed, changes[i], changes[j])
+				paired = true
+				break
+			}
+		}
+		if !paired && !used[i] {
+			kept = append(kept, changes[i])
+		}
+	}
+	return kept, removed
+}
+
+// suppressRebounds drops trend-stabilization artifacts: right after a
+// large change the smoothed trend overshoots and corrects, producing a
+// small opposite-direction change that begins where the real one ended.
+// A genuine recovery (outage up-leg, festival return-to-work) moves the
+// trend back by a comparable amount and survives the 70% magnitude test.
+func suppressRebounds(changes []Change) []Change {
+	if len(changes) < 2 {
+		return changes
+	}
+	out := changes[:1]
+	for _, c := range changes[1:] {
+		prev := out[len(out)-1]
+		opposite := c.Dir == -prev.Dir
+		adjacent := c.Start-prev.End <= 2*netsim.SecondsPerDay
+		smaller := math.Abs(c.RawAmplitude) < 0.7*math.Abs(prev.RawAmplitude)
+		if opposite && adjacent && smaller {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// toWallClock converts sample-index changes into timestamped ones and
+// locates the point of steepest trend movement.
+func (cfg Config) toWallClock(changes []changepoint.Change, a *BlockAnalysis) []Change {
+	var out []Change
+	for _, c := range changes {
+		point := c.Start
+		steepest := 0.0
+		for i := c.Start; i < c.End && i+1 < len(a.Trend); i++ {
+			d := a.Trend[i+1] - a.Trend[i]
+			if c.Dir == changepoint.Down {
+				d = -d
+			}
+			if d > steepest {
+				steepest = d
+				point = i
+			}
+		}
+		rawAmp := a.Trend[c.End] - a.Trend[c.Start]
+		if cfg.MinChangeAddresses > 0 && math.Abs(rawAmp) < cfg.MinChangeAddresses {
+			continue
+		}
+		ts := func(idx int) int64 { return a.SampleStart + int64(idx)*cfg.SampleStep }
+		out = append(out, Change{
+			Dir:          c.Dir,
+			Start:        ts(c.Start),
+			Alarm:        ts(c.Alarm),
+			End:          ts(c.End),
+			Point:        ts(point),
+			Amplitude:    c.Amplitude,
+			RawAmplitude: rawAmp,
+		})
+	}
+	return out
+}
+
+// scratch holds reusable probe/merge buffers; pooled so world-scale runs
+// do not reallocate tens of megabytes per block.
+type scratch struct {
+	perObs [][]probe.Record
+	merged []probe.Record
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return &scratch{} }}
+
+// AnalyzeBlock probes a block with the engine over the analysis window and
+// analyzes the resulting streams — the common entry point for a fully
+// simulated block.
+func (cfg Config) AnalyzeBlock(eng *probe.Engine, b *netsim.Block) (*BlockAnalysis, error) {
+	c := cfg.withDefaults()
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	eb := b.EverActive()
+	if len(eb) == 0 {
+		return &BlockAnalysis{Series: &reconstruct.Series{}}, nil
+	}
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	var err error
+	sc.perObs, err = eng.CollectInto(b, c.AnalysisStart, c.AnalysisEnd, sc.perObs)
+	if err != nil {
+		return nil, err
+	}
+	if c.Repair {
+		for _, stream := range sc.perObs {
+			reconstruct.Repair1Loss(stream)
+		}
+	}
+	sc.merged = reconstruct.MergeInto(sc.merged, sc.perObs)
+	series, err := reconstruct.Reconstruct(sc.merged, eb)
+	if err != nil {
+		return nil, err
+	}
+	return c.analyzeSeries(series, c.detectOutages(sc.merged))
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/diurnalnet/diurnal/internal/changepoint"
+	"github.com/diurnalnet/diurnal/internal/dataset"
+	"github.com/diurnalnet/diurnal/internal/events"
+	"github.com/diurnalnet/diurnal/internal/geo"
+	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/probe"
+)
+
+var (
+	q1Start = netsim.Date(2020, time.January, 1)
+	q1End   = netsim.Date(2020, time.March, 25)
+	wfhDate = netsim.Date(2020, time.March, 15)
+)
+
+func q1Config() Config {
+	cfg := DefaultConfig(q1Start, q1End)
+	cfg.BaselineStart = q1Start
+	cfg.BaselineEnd = netsim.Date(2020, time.January, 29)
+	return cfg
+}
+
+func engine4() *probe.Engine {
+	return &probe.Engine{Observers: probe.StandardObservers(4), QuarterSeed: 77}
+}
+
+// figure1Block builds the paper's running example: a university workplace
+// block with MLK day, Presidents Day, and WFH on 2020-03-15.
+func figure1Block(t testing.TB, seed uint64) *netsim.Block {
+	b, err := netsim.NewBlock(0x800990, seed, netsim.Spec{Workers: 70, AlwaysOn: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlk := netsim.Date(2020, time.January, 20)
+	pres := netsim.Date(2020, time.February, 17)
+	b.AddEvent(netsim.Event{Kind: netsim.EventHoliday, Start: mlk, End: mlk + netsim.SecondsPerDay, Adoption: 0.7})
+	b.AddEvent(netsim.Event{Kind: netsim.EventHoliday, Start: pres, End: pres + netsim.SecondsPerDay, Adoption: 0.6})
+	b.AddEvent(netsim.Event{Kind: netsim.EventWFH, Start: wfhDate, Adoption: 0.9})
+	return b
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig(10, 10)
+	if _, err := cfg.AnalyzeRecords(nil, []int{1}); err == nil {
+		t.Error("expected error for empty analysis window")
+	}
+	cfg = DefaultConfig(0, 86400)
+	cfg.SampleStep = 7000 // does not divide 86400
+	if _, err := cfg.AnalyzeRecords(nil, []int{1}); err == nil {
+		t.Error("expected error for non-divisor sample step")
+	}
+	cfg = DefaultConfig(0, 86400)
+	cfg.BaselineStart, cfg.BaselineEnd = 5, 1
+	if _, err := cfg.AnalyzeRecords(nil, []int{1}); err == nil {
+		t.Error("expected error for inverted baseline")
+	}
+}
+
+func TestAnalyzeEmptyEB(t *testing.T) {
+	cfg := q1Config()
+	a, err := cfg.AnalyzeRecords(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Class.ChangeSensitive || a.Series.Len() != 0 {
+		t.Fatalf("empty E(b) should be inert: %+v", a.Class)
+	}
+}
+
+func TestFigure1WFHDetection(t *testing.T) {
+	b := figure1Block(t, 901)
+	cfg := q1Config()
+	a, err := cfg.AnalyzeBlock(engine4(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Class.ChangeSensitive {
+		t.Fatalf("Figure-1 block not change-sensitive: %+v", a.Class)
+	}
+	downs := a.DownChanges()
+	if len(downs) == 0 {
+		t.Fatalf("no downward changes detected; all changes: %+v", a.Changes)
+	}
+	// At least one downward change's point must fall within ±4 days of
+	// the WFH date (the paper's block-level correctness rule, §3.6).
+	matched := false
+	for _, c := range downs {
+		if events.MatchWithin(c.Point, wfhDate, events.MatchWindowDays) {
+			matched = true
+		}
+	}
+	if !matched {
+		for _, c := range downs {
+			t.Logf("down change point %s", time.Unix(c.Point, 0).UTC().Format("2006-01-02"))
+		}
+		t.Fatal("no downward change within 4 days of WFH")
+	}
+}
+
+func TestChangeFieldsOrdered(t *testing.T) {
+	b := figure1Block(t, 902)
+	cfg := q1Config()
+	a, err := cfg.AnalyzeBlock(engine4(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range append(append([]Change{}, a.Changes...), a.OutagePairs...) {
+		if c.Start > c.Alarm || c.Alarm > c.End {
+			t.Fatalf("change ordering violated: %+v", c)
+		}
+		if c.Point < c.Start || c.Point > c.End {
+			t.Fatalf("point outside [start,end]: %+v", c)
+		}
+	}
+}
+
+func TestNoChangeOnQuietBlock(t *testing.T) {
+	b, err := netsim.NewBlock(3, 903, netsim.Spec{Workers: 70, AlwaysOn: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := q1Config()
+	a, err := cfg.AnalyzeBlock(engine4(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Class.ChangeSensitive {
+		t.Fatal("quiet workplace block should still be change-sensitive")
+	}
+	if len(a.DownChanges()) != 0 {
+		t.Fatalf("quiet block produced downward changes: %+v", a.Changes)
+	}
+}
+
+func TestOutagePairFiltered(t *testing.T) {
+	b, err := netsim.NewBlock(4, 904, netsim.Spec{Workers: 70, AlwaysOn: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A half-day outage in mid-February.
+	oStart := netsim.Date(2020, time.February, 12) + 6*3600
+	b.AddEvent(netsim.Event{Kind: netsim.EventOutage, Start: oStart, End: oStart + 12*3600})
+	cfg := q1Config()
+	a, err := cfg.AnalyzeBlock(engine4(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Class.ChangeSensitive {
+		t.Fatal("block should be change-sensitive")
+	}
+	// The outage must not survive as a lone downward change near Feb 12.
+	for _, c := range a.DownChanges() {
+		if events.MatchWithin(c.Point, oStart, 2) {
+			t.Fatalf("outage leaked through filtering: %+v (pairs removed: %d)", c, len(a.OutagePairs))
+		}
+	}
+}
+
+func TestServerBlockSkipsTrendAnalysis(t *testing.T) {
+	b, err := netsim.NewBlock(5, 905, netsim.Spec{AlwaysOn: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := q1Config()
+	a, err := cfg.AnalyzeBlock(engine4(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Class.ChangeSensitive {
+		t.Fatal("server block must not be change-sensitive")
+	}
+	if a.Trend != nil || len(a.Changes) != 0 {
+		t.Fatal("non-sensitive blocks must skip trend analysis")
+	}
+}
+
+func TestVPNMigrationDetected(t *testing.T) {
+	// Appendix B.2: USC's VPN block was always-on around the clock, then
+	// migrated to new address space at WFH — a sustained drop without a
+	// diurnal cause. Model: a block of always-on VPN endpoints that goes
+	// into a permanent "outage" (migration) on 2020-03-15, with some
+	// diurnal workers so the block is change-sensitive.
+	b, err := netsim.NewBlock(6, 906, netsim.Spec{Workers: 50, AlwaysOn: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.AddEvent(netsim.Event{Kind: netsim.EventOutage, Start: wfhDate, End: q1End + netsim.SecondsPerDay})
+	cfg := q1Config()
+	a, err := cfg.AnalyzeBlock(engine4(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Class.ChangeSensitive {
+		t.Fatal("VPN block should be change-sensitive in the January baseline")
+	}
+	matched := false
+	for _, c := range a.DownChanges() {
+		if events.MatchWithin(c.Point, wfhDate, events.MatchWindowDays) {
+			matched = true
+		}
+	}
+	if !matched {
+		t.Fatalf("VPN migration not detected: %+v", a.Changes)
+	}
+}
+
+func TestPipelineRunSmallWorld(t *testing.T) {
+	world, err := dataset.BuildWorld(dataset.WorldOpts{
+		Blocks:   60,
+		Seed:     31,
+		Calendar: events.Year2020(),
+		Start:    q1Start,
+		End:      q1End,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Pipeline{Config: q1Config(), Engine: engine4()}
+	res, err := p.Run(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocks) != len(world) {
+		t.Fatalf("outcomes %d != world %d", len(res.Blocks), len(world))
+	}
+	if len(res.Cells) == 0 {
+		t.Fatal("no cells aggregated")
+	}
+	cs := res.ChangeSensitiveCount()
+	responsive := 0
+	for _, st := range res.Cells {
+		responsive += st.Responsive
+	}
+	if responsive == 0 {
+		t.Fatal("no responsive blocks in world")
+	}
+	if cs == 0 {
+		t.Fatal("no change-sensitive blocks in world")
+	}
+	if cs >= responsive {
+		t.Fatalf("cs %d should be a strict subset of responsive %d", cs, responsive)
+	}
+}
+
+func TestPipelineDeterministicAcrossWorkerCounts(t *testing.T) {
+	world, err := dataset.BuildWorld(dataset.WorldOpts{
+		Blocks: 24, Seed: 32, Calendar: events.Year2020(),
+		Start: q1Start, End: netsim.Date(2020, time.February, 12),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(q1Start, netsim.Date(2020, time.February, 12))
+	run := func(workers int) *WorldResult {
+		p := &Pipeline{Config: cfg, Engine: engine4(), Workers: workers}
+		res, err := p.Run(world)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	if a.ChangeSensitiveCount() != b.ChangeSensitiveCount() {
+		t.Fatal("worker count changed results")
+	}
+	for i := range a.Blocks {
+		ca, cb := a.Blocks[i].Analysis.Changes, b.Blocks[i].Analysis.Changes
+		if len(ca) != len(cb) {
+			t.Fatalf("block %d changes differ", i)
+		}
+	}
+}
+
+func TestCellAndContinentSeries(t *testing.T) {
+	world, err := dataset.BuildWorld(dataset.WorldOpts{
+		Blocks: 80, Seed: 33, Calendar: events.Year2020(),
+		Start: q1Start, End: q1End, OutageProb: -1, RenumberProb: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Pipeline{Config: q1Config(), Engine: engine4()}
+	res, err := p.Run(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startDay := netsim.DayIndex(q1Start)
+	endDay := netsim.DayIndex(q1End)
+	totalDown := 0.0
+	for _, cont := range []int{0, 1, 2, 3, 4, 5} {
+		series := res.ContinentFractionSeries(geoContinent(cont), startDay, endDay)
+		if len(series) != int(endDay-startDay) {
+			t.Fatal("series length wrong")
+		}
+		for _, v := range series {
+			if v < 0 || v > 1.000001 {
+				t.Fatalf("fraction %g out of range", v)
+			}
+			totalDown += v
+		}
+	}
+	if totalDown == 0 {
+		t.Fatal("no downward activity anywhere in a Covid-era world")
+	}
+	// Cell series for the busiest cell behaves likewise.
+	top := res.TopCells(1)
+	if len(top) == 0 {
+		t.Fatal("no top cells")
+	}
+	cellSeries := res.CellFractionSeries(top[0], changepoint.Down, startDay, endDay)
+	if len(cellSeries) == 0 {
+		t.Fatal("no cell series")
+	}
+	// Unknown cell yields zeros, not a panic.
+	zero := res.CellFractionSeries(topUnknownCell(), changepoint.Down, startDay, endDay)
+	for _, v := range zero {
+		if v != 0 {
+			t.Fatal("unknown cell should have zero series")
+		}
+	}
+	if s := res.CellFractionSeries(top[0], changepoint.Down, 10, 10); s != nil {
+		t.Fatal("empty day range should be nil")
+	}
+}
+
+func TestTopCellsOrdering(t *testing.T) {
+	r := &WorldResult{CellCS: map[geoCellKey]int{
+		{Lat: 1, Lon: 1}: 5, {Lat: 2, Lon: 2}: 9, {Lat: 3, Lon: 3}: 5,
+	}}
+	top := r.TopCells(10)
+	if len(top) != 3 || top[0] != (geoCellKey{Lat: 2, Lon: 2}) {
+		t.Fatalf("TopCells = %v", top)
+	}
+	// Ties break deterministically by key.
+	if top[1] != (geoCellKey{Lat: 1, Lon: 1}) || top[2] != (geoCellKey{Lat: 3, Lon: 3}) {
+		t.Fatalf("tie ordering = %v", top)
+	}
+	if got := r.TopCells(1); len(got) != 1 {
+		t.Fatal("limit not applied")
+	}
+}
+
+func TestPeakDay(t *testing.T) {
+	r := &WorldResult{
+		CellCS:    map[geoCellKey]int{{Lat: 1, Lon: 1}: 10},
+		DownDaily: map[geoCellKey]map[int64]int{{Lat: 1, Lon: 1}: {100: 2, 101: 7, 102: 7}},
+	}
+	day, frac, ok := r.PeakDay(geoCellKey{Lat: 1, Lon: 1})
+	if !ok || day != 101 || frac != 0.7 {
+		t.Fatalf("PeakDay = %d %g %v", day, frac, ok)
+	}
+	if _, _, ok := r.PeakDay(geoCellKey{Lat: 9, Lon: 9}); ok {
+		t.Fatal("unknown cell should not have a peak")
+	}
+}
+
+func BenchmarkAnalyzeBlockQuarter(b *testing.B) {
+	blk := figure1Block(b, 907)
+	cfg := q1Config()
+	eng := engine4()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.AnalyzeBlock(eng, blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Small aliases keeping the table-driven tests above terse.
+type geoCellKey = geo.CellKey
+
+func geoContinent(i int) geo.Continent { return geo.Continent(i) }
+func topUnknownCell() geo.CellKey      { return geo.CellKey{Lat: 40, Lon: 40} }

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/diurnalnet/diurnal/internal/changepoint"
+	"github.com/diurnalnet/diurnal/internal/dataset"
+	"github.com/diurnalnet/diurnal/internal/geo"
+	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/probe"
+)
+
+// BlockOutcome pairs a block's pipeline result with its placement.
+type BlockOutcome struct {
+	ID       netsim.BlockID
+	Place    geo.Placement
+	Analysis *BlockAnalysis
+}
+
+// WorldResult aggregates a whole-world pipeline run.
+type WorldResult struct {
+	// Blocks holds per-block outcomes in world order.
+	Blocks []BlockOutcome
+	// Cells accumulates per-gridcell responsive/change-sensitive counts
+	// for coverage analysis (Table 4).
+	Cells map[geo.CellKey]*geo.CellStats
+	// DownDaily and UpDaily count, per gridcell and UTC day index, how
+	// many change-sensitive blocks alarmed in each direction (Figures
+	// 8–10 derive from these).
+	DownDaily, UpDaily map[geo.CellKey]map[int64]int
+	// CellCS is the number of change-sensitive blocks per cell.
+	CellCS map[geo.CellKey]int
+	// ContinentCS is the change-sensitive block count per continent.
+	ContinentCS map[geo.Continent]int
+}
+
+// Pipeline runs the full analysis over a simulated world.
+type Pipeline struct {
+	Config Config
+	Engine *probe.Engine
+	// Workers bounds parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+// Run probes and analyzes every block, in parallel, and aggregates the
+// results. The output is deterministic for a fixed world and config.
+func (p *Pipeline) Run(world []*dataset.WorldBlock) (*WorldResult, error) {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := &WorldResult{
+		Blocks:      make([]BlockOutcome, len(world)),
+		Cells:       map[geo.CellKey]*geo.CellStats{},
+		DownDaily:   map[geo.CellKey]map[int64]int{},
+		UpDaily:     map[geo.CellKey]map[int64]int{},
+		CellCS:      map[geo.CellKey]int{},
+		ContinentCS: map[geo.Continent]int{},
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				wb := world[i]
+				analysis, err := p.Config.AnalyzeBlock(p.Engine, wb.Block)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				res.Blocks[i] = BlockOutcome{ID: wb.ID, Place: wb.Place, Analysis: analysis}
+			}
+		}()
+	}
+	for i := range world {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for i := range res.Blocks {
+		res.aggregate(&res.Blocks[i])
+	}
+	return res, nil
+}
+
+// aggregate folds one block outcome into the world-level tallies.
+func (r *WorldResult) aggregate(b *BlockOutcome) {
+	if b.Analysis == nil {
+		return
+	}
+	cell := b.Place.Cell
+	cs := r.Cells[cell]
+	if cs == nil {
+		cs = &geo.CellStats{Continent: b.Place.Region.Continent}
+		r.Cells[cell] = cs
+	}
+	if b.Analysis.Class.Responsive {
+		cs.Responsive++
+	}
+	if !b.Analysis.Class.ChangeSensitive {
+		return
+	}
+	cs.ChangeSensitive++
+	r.CellCS[cell]++
+	r.ContinentCS[b.Place.Region.Continent]++
+	for _, c := range b.Analysis.Changes {
+		day := netsim.DayIndex(c.Point)
+		var m map[geo.CellKey]map[int64]int
+		if c.Dir == changepoint.Down {
+			m = r.DownDaily
+		} else {
+			m = r.UpDaily
+		}
+		if m[cell] == nil {
+			m[cell] = map[int64]int{}
+		}
+		m[cell][day]++
+	}
+}
+
+// CellFractionSeries returns the daily fraction of the cell's
+// change-sensitive blocks showing a change in the given direction over
+// [startDay, endDay) (UTC day indices), as plotted in Figures 9b and 10b.
+func (r *WorldResult) CellFractionSeries(cell geo.CellKey, dir changepoint.Direction, startDay, endDay int64) []float64 {
+	n := int(endDay - startDay)
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	total := r.CellCS[cell]
+	if total == 0 {
+		return out
+	}
+	src := r.DownDaily
+	if dir == changepoint.Up {
+		src = r.UpDaily
+	}
+	days := src[cell]
+	for d, count := range days {
+		if d >= startDay && d < endDay {
+			out[d-startDay] = float64(count) / float64(total)
+		}
+	}
+	return out
+}
+
+// ContinentFractionSeries returns the daily fraction of the continent's
+// change-sensitive blocks with a downward change (Figure 8).
+func (r *WorldResult) ContinentFractionSeries(cont geo.Continent, startDay, endDay int64) []float64 {
+	n := int(endDay - startDay)
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	total := r.ContinentCS[cont]
+	if total == 0 {
+		return out
+	}
+	for cell, days := range r.DownDaily {
+		if st := r.Cells[cell]; st == nil || st.Continent != cont {
+			continue
+		}
+		for d, count := range days {
+			if d >= startDay && d < endDay {
+				out[d-startDay] += float64(count) / float64(total)
+			}
+		}
+	}
+	return out
+}
+
+// PeakDay returns the UTC day index with the largest downward fraction in
+// the cell along with that fraction; ok is false when the cell saw no
+// downward changes.
+func (r *WorldResult) PeakDay(cell geo.CellKey) (day int64, frac float64, ok bool) {
+	total := r.CellCS[cell]
+	if total == 0 {
+		return 0, 0, false
+	}
+	best := -1
+	for d, count := range r.DownDaily[cell] {
+		if count > best || (count == best && d < day) {
+			best = count
+			day = d
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return day, float64(best) / float64(total), true
+}
+
+// TopCells returns up to n cells ordered by change-sensitive block count
+// (descending, ties by cell key for determinism).
+func (r *WorldResult) TopCells(n int) []geo.CellKey {
+	cells := make([]geo.CellKey, 0, len(r.CellCS))
+	for c := range r.CellCS {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if r.CellCS[a] != r.CellCS[b] {
+			return r.CellCS[a] > r.CellCS[b]
+		}
+		if a.Lat != b.Lat {
+			return a.Lat < b.Lat
+		}
+		return a.Lon < b.Lon
+	})
+	if n < len(cells) {
+		cells = cells[:n]
+	}
+	return cells
+}
+
+// ChangeSensitiveCount returns the number of change-sensitive blocks.
+func (r *WorldResult) ChangeSensitiveCount() int {
+	total := 0
+	for _, n := range r.CellCS {
+		total += n
+	}
+	return total
+}

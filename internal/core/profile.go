@@ -1,0 +1,84 @@
+package core
+
+import (
+	"github.com/diurnalnet/diurnal/internal/netsim"
+)
+
+// ProfileKind classifies what kind of human schedule drives a
+// change-sensitive block — the paper's stated future work ("possible
+// future work is to detect daily bumps and count how many occur to
+// distinguish workplace networks from home networks", §2.6).
+type ProfileKind int
+
+const (
+	// ProfileUnknown means the block was not analyzable (not
+	// change-sensitive, or no seasonal component).
+	ProfileUnknown ProfileKind = iota
+	// ProfileWorkplace blocks are active on workdays and quiet on
+	// weekends.
+	ProfileWorkplace
+	// ProfileHome blocks are active every day of the week (evenings and
+	// weekends).
+	ProfileHome
+	// ProfileMixed blocks show both signatures.
+	ProfileMixed
+)
+
+// String names the profile.
+func (p ProfileKind) String() string {
+	switch p {
+	case ProfileWorkplace:
+		return "workplace"
+	case ProfileHome:
+		return "home"
+	case ProfileMixed:
+		return "mixed"
+	default:
+		return "unknown"
+	}
+}
+
+// Profile inspects the weekly seasonal component and classifies the
+// block's schedule. The test is timezone-independent: it compares the
+// seasonal energy of weekend days against workdays, so it needs no local
+// clock — a workplace's weekend is flat everywhere on Earth.
+func (a *BlockAnalysis) Profile() ProfileKind {
+	if len(a.Seasonal) == 0 || a.SampleStep <= 0 {
+		return ProfileUnknown
+	}
+	samplesPerDay := int(netsim.SecondsPerDay / a.SampleStep)
+	week := 7 * samplesPerDay
+	if len(a.Seasonal) < week {
+		return ProfileUnknown
+	}
+	// Positive seasonal excursions per day of week, averaged over all
+	// complete weeks (the periodic seasonal repeats, but averaging keeps
+	// this robust if a caller supplies an adaptive decomposition).
+	var dayEnergy [7]float64
+	var dayCount [7]int
+	for i, v := range a.Seasonal {
+		if v <= 0 {
+			continue
+		}
+		t := a.SampleStart + int64(i)*a.SampleStep
+		wd := netsim.Weekday(t)
+		dayEnergy[wd] += v
+		dayCount[wd]++
+	}
+	weekend := dayEnergy[0] + dayEnergy[6]
+	weekday := dayEnergy[1] + dayEnergy[2] + dayEnergy[3] + dayEnergy[4] + dayEnergy[5]
+	if weekday == 0 && weekend == 0 {
+		return ProfileUnknown
+	}
+	// Normalize to per-day means.
+	weekendMean := weekend / 2
+	weekdayMean := weekday / 5
+	switch {
+	case weekdayMean > 0 && weekendMean < 0.25*weekdayMean:
+		return ProfileWorkplace
+	case weekendMean >= 0.6*weekdayMean:
+		return ProfileHome
+	default:
+		return ProfileMixed
+	}
+}

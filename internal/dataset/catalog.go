@@ -1,0 +1,110 @@
+package dataset
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/probe"
+)
+
+// Spec names one dataset window in the style of the paper's Table 6:
+// a start date, a duration in weeks, and the observing sites.
+type Spec struct {
+	// Name follows the paper's convention, e.g. "2020q1-ejnw".
+	Name string
+	// Start is the window's first instant (midnight UTC).
+	Start int64
+	// Weeks is the duration.
+	Weeks int
+	// Sites are the observer letters in use ("e", "j", "n", "w", "c", "g").
+	Sites []string
+	// Survey marks full-scan datasets (the it89 analogue).
+	Survey bool
+}
+
+// End returns the exclusive end of the window.
+func (s Spec) End() int64 {
+	return s.Start + int64(s.Weeks)*7*netsim.SecondsPerDay
+}
+
+// Catalog returns the dataset windows used across the paper's
+// experiments, mirroring Table 6.
+func Catalog() []Spec {
+	q := func(name string, y int, m time.Month, d, weeks int, sites ...string) Spec {
+		return Spec{Name: name, Start: netsim.Date(y, m, d), Weeks: weeks, Sites: sites}
+	}
+	return []Spec{
+		q("2019q4-w", 2019, time.October, 1, 12, "w"),
+		q("2020q1-w", 2020, time.January, 1, 12, "w"),
+		q("2020q1-e", 2020, time.January, 1, 12, "e"),
+		q("2020q1-ejnw", 2020, time.January, 1, 12, "e", "j", "n", "w"),
+		q("2020q2-w", 2020, time.April, 1, 12, "w"),
+		q("2020q2-ejnw", 2020, time.April, 1, 12, "e", "j", "n", "w"),
+		q("2020m1-w", 2020, time.January, 1, 4, "w"),
+		q("2020m1-ejnw", 2020, time.January, 1, 4, "e", "j", "n", "w"),
+		q("2020h1-w", 2020, time.January, 1, 24, "w"),
+		q("2020h1-ejnw", 2020, time.January, 1, 24, "e", "j", "n", "w"),
+		q("2023q1-ejnw", 2023, time.January, 1, 12, "e", "j", "n", "w"),
+		{Name: "2020it89-w", Start: netsim.Date(2020, time.February, 19), Weeks: 2, Sites: []string{"survey"}, Survey: true},
+	}
+}
+
+// FindSpec returns the catalog entry with the given name.
+func FindSpec(name string) (Spec, error) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("dataset: unknown dataset %q", name)
+}
+
+// siteIndex maps the paper's site letters to deterministic phases.
+var siteIndex = map[string]int{"w": 0, "e": 1, "j": 2, "n": 3, "c": 4, "g": 5}
+
+// ObserverFor builds the probing observer for a site letter. Site "w"
+// observes some Chinese destinations through a congested link (§3.3);
+// sites "c" and "g" model the 2020 hardware problems that made the paper
+// discard them (heavy, erratic loss to all destinations).
+func ObserverFor(site string, lossyBlocks func(netsim.BlockID) bool) (probe.Observer, error) {
+	idx, ok := siteIndex[site]
+	if !ok {
+		return probe.Observer{}, fmt.Errorf("dataset: unknown site %q", site)
+	}
+	o := probe.Observer{
+		Name:  site,
+		Seed:  netsim.Hash64(uint64(idx) + 7001),
+		Phase: int64(idx) * netsim.RoundSeconds / 6,
+	}
+	switch site {
+	case "w":
+		o.Loss = &probe.LossModel{
+			Base:       0.02,
+			DiurnalAmp: 0.25,
+			TZOffset:   8 * 3600, // congestion follows the destination region's busy hours
+			Match:      lossyBlocks,
+		}
+	case "c", "g":
+		o.Loss = &probe.LossModel{Base: 0.35, DiurnalAmp: 0.2}
+	}
+	return o, nil
+}
+
+// EngineFor assembles a probing engine for a dataset spec. lossyBlocks
+// selects the destinations that observer w reaches over a congested link
+// (nil disables that pathology). Survey specs have no engine.
+func EngineFor(spec Spec, lossyBlocks func(netsim.BlockID) bool) (*probe.Engine, error) {
+	if spec.Survey {
+		return nil, fmt.Errorf("dataset: %s is a survey dataset; use probe.Survey", spec.Name)
+	}
+	eng := &probe.Engine{QuarterSeed: netsim.Hash64(uint64(spec.Start))}
+	for _, site := range spec.Sites {
+		o, err := ObserverFor(site, lossyBlocks)
+		if err != nil {
+			return nil, err
+		}
+		eng.Observers = append(eng.Observers, o)
+	}
+	return eng, nil
+}

@@ -1,0 +1,103 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/diurnalnet/diurnal/internal/probe"
+)
+
+// The observation-log format stores one observer's probe records
+// compactly: a magic header, the record count, the base timestamp, then
+// per record a varint time delta from the previous record, the address
+// octet, and the up flag. Real deployments of the paper's pipeline archive
+// years of such logs; the codec keeps our datasets replayable without
+// re-simulating.
+
+const logMagic = "DIURNLOG" // 8 bytes
+
+// WriteRecords encodes records (which must be in time order) to w.
+func WriteRecords(w io.Writer, records []probe.Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(logMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(records)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	var prev int64
+	if len(records) > 0 {
+		prev = records[0].T
+		n = binary.PutVarint(buf[:], prev)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	for i, r := range records {
+		delta := r.T - prev
+		if delta < 0 {
+			return fmt.Errorf("dataset: record %d out of time order", i)
+		}
+		prev = r.T
+		n = binary.PutUvarint(buf[:], uint64(delta))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		up := byte(0)
+		if r.Up {
+			up = 1
+		}
+		if _, err := bw.Write([]byte{r.Addr, up}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRecords decodes a log written by WriteRecords.
+func ReadRecords(r io.Reader) ([]probe.Record, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(logMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if string(magic) != logMagic {
+		return nil, fmt.Errorf("dataset: bad magic %q", magic)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading count: %w", err)
+	}
+	const maxRecords = 1 << 30
+	if count > maxRecords {
+		return nil, fmt.Errorf("dataset: implausible record count %d", count)
+	}
+	records := make([]probe.Record, 0, count)
+	if count == 0 {
+		return records, nil
+	}
+	prev, err := binary.ReadVarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading base time: %w", err)
+	}
+	for i := uint64(0); i < count; i++ {
+		delta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: record %d delta: %w", i, err)
+		}
+		prev += int64(delta)
+		var pair [2]byte
+		if _, err := io.ReadFull(br, pair[:]); err != nil {
+			return nil, fmt.Errorf("dataset: record %d payload: %w", i, err)
+		}
+		if pair[1] > 1 {
+			return nil, fmt.Errorf("dataset: record %d has invalid up flag %d", i, pair[1])
+		}
+		records = append(records, probe.Record{T: prev, Addr: pair[0], Up: pair[1] == 1})
+	}
+	return records, nil
+}

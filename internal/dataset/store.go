@@ -1,0 +1,149 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/probe"
+)
+
+// A Store persists probe observations on disk so analyses can be replayed
+// without re-simulating (or, against real data, without re-probing): one
+// binary log per (block, observer) plus a JSON index. This mirrors the
+// role of the paper's public Trinocular datasets [Table 6].
+type Store struct {
+	dir string
+}
+
+// storeIndex is the JSON manifest of a store.
+type storeIndex struct {
+	Name   string       `json:"name"`
+	Start  int64        `json:"start"`
+	End    int64        `json:"end"`
+	Sites  []string     `json:"sites"`
+	Blocks []blockEntry `json:"blocks"`
+}
+
+type blockEntry struct {
+	ID         uint32 `json:"id"`
+	EverActive []int  `json:"ever_active"`
+}
+
+// OpenStore opens an existing store directory.
+func OpenStore(dir string) (*Store, error) {
+	if _, err := os.Stat(filepath.Join(dir, "index.json")); err != nil {
+		return nil, fmt.Errorf("dataset: %s is not a store: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// CreateStore writes a complete observation archive: it probes every block
+// of the world with the engine over [spec.Start, spec.End()) and writes
+// one log per (block, observer).
+func CreateStore(dir string, spec Spec, eng *probe.Engine, world []*WorldBlock) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	idx := storeIndex{Name: spec.Name, Start: spec.Start, End: spec.End(), Sites: spec.Sites}
+	for _, wb := range world {
+		eb := wb.EverActive()
+		if len(eb) == 0 {
+			continue
+		}
+		perObs, err := eng.Collect(wb.Block, spec.Start, spec.End())
+		if err != nil {
+			return nil, err
+		}
+		for oi, records := range perObs {
+			f, err := os.Create(filepath.Join(dir, logName(wb.ID, oi)))
+			if err != nil {
+				return nil, err
+			}
+			w := bufio.NewWriter(f)
+			if err := WriteRecords(w, records); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("dataset: writing %v obs %d: %w", wb.ID, oi, err)
+			}
+			if err := w.Flush(); err != nil {
+				f.Close()
+				return nil, err
+			}
+			if err := f.Close(); err != nil {
+				return nil, err
+			}
+		}
+		idx.Blocks = append(idx.Blocks, blockEntry{ID: uint32(wb.ID), EverActive: eb})
+	}
+	data, err := json.MarshalIndent(&idx, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), data, 0o644); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir}, nil
+}
+
+func logName(id netsim.BlockID, obs int) string {
+	return fmt.Sprintf("blk-%06x.obs%d.log", uint32(id), obs)
+}
+
+// Index returns the store's manifest.
+func (s *Store) Index() (name string, start, end int64, sites []string, blocks []netsim.BlockID, err error) {
+	idx, err := s.readIndex()
+	if err != nil {
+		return "", 0, 0, nil, nil, err
+	}
+	for _, b := range idx.Blocks {
+		blocks = append(blocks, netsim.BlockID(b.ID))
+	}
+	return idx.Name, idx.Start, idx.End, idx.Sites, blocks, nil
+}
+
+func (s *Store) readIndex() (*storeIndex, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, "index.json"))
+	if err != nil {
+		return nil, err
+	}
+	var idx storeIndex
+	if err := json.Unmarshal(data, &idx); err != nil {
+		return nil, fmt.Errorf("dataset: corrupt index: %w", err)
+	}
+	return &idx, nil
+}
+
+// LoadBlock reads one block's per-observer record streams and its E(b).
+func (s *Store) LoadBlock(id netsim.BlockID) (perObs [][]probe.Record, eb []int, err error) {
+	idx, err := s.readIndex()
+	if err != nil {
+		return nil, nil, err
+	}
+	found := false
+	for _, b := range idx.Blocks {
+		if netsim.BlockID(b.ID) == id {
+			eb = b.EverActive
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, nil, fmt.Errorf("dataset: block %v not in store", id)
+	}
+	for oi := 0; oi < len(idx.Sites); oi++ {
+		f, err := os.Open(filepath.Join(s.dir, logName(id, oi)))
+		if err != nil {
+			return nil, nil, err
+		}
+		records, err := ReadRecords(bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: block %v obs %d: %w", id, oi, err)
+		}
+		perObs = append(perObs, records)
+	}
+	return perObs, eb, nil
+}

@@ -1,0 +1,437 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(n^2) reference implementation used to validate FFT.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Rect(1, ang)
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func maxErr(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestFFTEmpty(t *testing.T) {
+	if got := FFT(nil); got != nil {
+		t.Fatalf("FFT(nil) = %v, want nil", got)
+	}
+	if got := IFFT(nil); got != nil {
+		t.Fatalf("IFFT(nil) = %v, want nil", got)
+	}
+}
+
+func TestFFTSingle(t *testing.T) {
+	got := FFT([]complex128{3 + 4i})
+	if len(got) != 1 || cmplx.Abs(got[0]-(3+4i)) > 1e-12 {
+		t.Fatalf("FFT of singleton = %v", got)
+	}
+}
+
+func TestFFTMatchesNaiveDFTPow2(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 4, 8, 16, 64, 256} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		if err := maxErr(FFT(x), naiveDFT(x)); err > 1e-8 {
+			t.Errorf("n=%d: max error %g vs naive DFT", n, err)
+		}
+	}
+}
+
+func TestFFTMatchesNaiveDFTArbitraryLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{3, 5, 6, 7, 12, 100, 131, 257} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		if err := maxErr(FFT(x), naiveDFT(x)); err > 1e-7 {
+			t.Errorf("n=%d: max error %g vs naive DFT", n, err)
+		}
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// The transform of a unit impulse is flat ones.
+	x := make([]complex128, 16)
+	x[0] = 1
+	for k, v := range FFT(x) {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestFFTPureTone(t *testing.T) {
+	// A pure complex exponential at bin 3 concentrates all energy there.
+	n := 64
+	x := make([]complex128, n)
+	for t := range x {
+		x[t] = cmplx.Rect(1, 2*math.Pi*3*float64(t)/float64(n))
+	}
+	spec := FFT(x)
+	for k, v := range spec {
+		want := 0.0
+		if k == 3 {
+			want = float64(n)
+		}
+		if math.Abs(cmplx.Abs(v)-want) > 1e-8 {
+			t.Fatalf("bin %d magnitude = %g, want %g", k, cmplx.Abs(v), want)
+		}
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 5, 8, 33, 131, 1024} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		if err := maxErr(IFFT(FFT(x)), x); err > 1e-8 {
+			t.Errorf("n=%d: round-trip error %g", n, err)
+		}
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	// FFT(a*x + y) == a*FFT(x) + FFT(y), checked with testing/quick over
+	// random length-16 vectors.
+	f := func(seed int64, scale float64) bool {
+		if math.IsNaN(scale) || math.IsInf(scale, 0) || math.Abs(scale) > 1e6 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := 16
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		mix := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			y[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			mix[i] = complex(scale, 0)*x[i] + y[i]
+		}
+		fx, fy, fm := FFT(x), FFT(y), FFT(mix)
+		for k := range fm {
+			want := complex(scale, 0)*fx[k] + fy[k]
+			if cmplx.Abs(fm[k]-want) > 1e-6*(1+math.Abs(scale)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTParsevalProperty(t *testing.T) {
+	// sum |x|^2 == (1/N) sum |X|^2 for any input (Parseval's theorem).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + int(rng.Int31n(60))
+		x := make([]complex128, n)
+		timeE := 0.0
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			timeE += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		freqE := 0.0
+		for _, v := range FFT(x) {
+			freqE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqE /= float64(n)
+		return math.Abs(timeE-freqE) < 1e-6*(1+timeE)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeriodogramDCRemoved(t *testing.T) {
+	// A constant series has (numerically) zero periodogram everywhere.
+	x := make([]float64, 128)
+	for i := range x {
+		x[i] = 42.5
+	}
+	for k, p := range Periodogram(x) {
+		if p > 1e-18 {
+			t.Fatalf("bin %d = %g, want ~0 for constant input", k, p)
+		}
+	}
+}
+
+func TestPeriodogramSinePeak(t *testing.T) {
+	// A sine with 8 cycles over 128 samples peaks exactly at bin 8.
+	n := 128
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 8 * float64(i) / float64(n))
+	}
+	p := Periodogram(x)
+	best := 0
+	for k := 1; k < len(p); k++ {
+		if p[k] > p[best] {
+			best = k
+		}
+	}
+	if best != 8 {
+		t.Fatalf("peak at bin %d, want 8", best)
+	}
+}
+
+func TestPeriodogramEmpty(t *testing.T) {
+	if p := Periodogram(nil); p != nil {
+		t.Fatalf("Periodogram(nil) = %v, want nil", p)
+	}
+}
+
+func TestDiurnalScoreSinusoid(t *testing.T) {
+	// Two weeks of a clean 24-hour sinusoid at 11-minute sampling should
+	// be nearly all diurnal energy.
+	opts := DefaultDiurnalOpts()
+	n := int(14 * 86400 / opts.SampleInterval)
+	x := make([]float64, n)
+	for i := range x {
+		tsec := float64(i) * opts.SampleInterval
+		x[i] = 10 + 5*math.Sin(2*math.Pi*tsec/86400)
+	}
+	score, err := DiurnalScore(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 0.9 {
+		t.Fatalf("clean diurnal sinusoid score = %g, want >= 0.9", score)
+	}
+}
+
+func TestDiurnalScoreSquareWaveHarmonics(t *testing.T) {
+	// A work-day square wave (on 1/3 of the day) spreads energy into
+	// harmonics; with 3 harmonics counted the score should stay high.
+	opts := DefaultDiurnalOpts()
+	n := int(14 * 86400 / opts.SampleInterval)
+	x := make([]float64, n)
+	for i := range x {
+		tsec := math.Mod(float64(i)*opts.SampleInterval, 86400)
+		if tsec > 8*3600 && tsec < 16*3600 {
+			x[i] = 20
+		} else {
+			x[i] = 2
+		}
+	}
+	score, err := DiurnalScore(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 0.6 {
+		t.Fatalf("square-wave diurnal score = %g, want >= 0.6", score)
+	}
+}
+
+func TestDiurnalScoreNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	opts := DefaultDiurnalOpts()
+	n := int(14 * 86400 / opts.SampleInterval)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	score, err := DiurnalScore(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score > 0.1 {
+		t.Fatalf("white-noise diurnal score = %g, want <= 0.1", score)
+	}
+}
+
+func TestDiurnalScoreConstant(t *testing.T) {
+	opts := DefaultDiurnalOpts()
+	n := int(14 * 86400 / opts.SampleInterval)
+	x := make([]float64, n)
+	score, err := DiurnalScore(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score != 0 {
+		t.Fatalf("constant series score = %g, want 0", score)
+	}
+}
+
+func TestDiurnalScoreTooShort(t *testing.T) {
+	opts := DefaultDiurnalOpts()
+	x := make([]float64, 10)
+	if _, err := DiurnalScore(x, opts); err == nil {
+		t.Fatal("expected error for series shorter than two periods")
+	}
+}
+
+func TestDiurnalScoreBadOpts(t *testing.T) {
+	if _, err := DiurnalScore(make([]float64, 100), DiurnalScoreOpts{}); err == nil {
+		t.Fatal("expected error for zero-valued options")
+	}
+}
+
+func TestDiurnalScoreBounded(t *testing.T) {
+	// Property: the score is always within [0, 1].
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		opts := DefaultDiurnalOpts()
+		n := int(3 * 86400 / opts.SampleInterval)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()*10 + math.Sin(float64(i)/20)*float64(seed%7)
+		}
+		s, err := DiurnalScore(x, opts)
+		return err == nil && s >= 0 && s <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFFTPow2_4096(b *testing.B) {
+	x := make([]complex128, 4096)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkFFTBluestein_3665(b *testing.B) {
+	// 3665 samples = four weeks of 11-minute rounds, a typical block series.
+	x := make([]complex128, 3665)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkDiurnalScoreMonth(b *testing.B) {
+	opts := DefaultDiurnalOpts()
+	n := int(28 * 86400 / opts.SampleInterval)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 10 + 5*math.Sin(2*math.Pi*float64(i)*opts.SampleInterval/86400)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DiurnalScore(x, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDiurnalSNRSinusoidHuge(t *testing.T) {
+	opts := DefaultDiurnalOpts()
+	n := int(14 * 86400 / opts.SampleInterval)
+	x := make([]float64, n)
+	for i := range x {
+		tsec := float64(i) * opts.SampleInterval
+		x[i] = 10 + 5*math.Sin(2*math.Pi*tsec/86400)
+	}
+	snr, err := DiurnalSNR(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snr < 100 {
+		t.Fatalf("clean diurnal SNR = %g, want >> 100", snr)
+	}
+}
+
+func TestDiurnalSNRWhiteNoiseLow(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	opts := DefaultDiurnalOpts()
+	n := int(14 * 86400 / opts.SampleInterval)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	snr, err := DiurnalSNR(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snr > 15 {
+		t.Fatalf("white-noise SNR = %g, want small", snr)
+	}
+}
+
+func TestDiurnalSNRRejectsRedNoise(t *testing.T) {
+	// A slow random walk concentrates energy at low frequencies: the
+	// energy-fraction score is fooled but the SNR is not — the reason
+	// both tests gate classification.
+	rng := rand.New(rand.NewSource(18))
+	opts := DiurnalScoreOpts{SampleInterval: 3600, Period: 86400, Harmonics: 3}
+	n := 28 * 24
+	x := make([]float64, n)
+	level := 0.0
+	for i := range x {
+		level += rng.NormFloat64()
+		x[i] = level
+	}
+	score, err := DiurnalScore(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snr, err := DiurnalSNR(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 0.05 {
+		t.Skip("this walk did not concentrate low-frequency energy")
+	}
+	if snr > 25 {
+		t.Fatalf("red noise SNR = %g, should stay below the gate (score was %g)", snr, score)
+	}
+}
+
+func TestDiurnalSNRErrorsAndEdge(t *testing.T) {
+	if _, err := DiurnalSNR(make([]float64, 100), DiurnalScoreOpts{}); err == nil {
+		t.Error("expected error for zero options")
+	}
+	if _, err := DiurnalSNR(make([]float64, 10), DefaultDiurnalOpts()); err == nil {
+		t.Error("expected error for too-short series")
+	}
+	// Constant series: zero band and zero neighbourhood -> SNR 0.
+	opts := DiurnalScoreOpts{SampleInterval: 3600, Period: 86400}
+	snr, err := DiurnalSNR(make([]float64, 72), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snr != 0 {
+		t.Fatalf("constant series SNR = %g, want 0", snr)
+	}
+}

@@ -1,0 +1,247 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3–§4, appendices) on the simulated substrate. Each
+// experiment is a pure function of its options (all randomness is seeded),
+// returns a typed result with a text rendering, and is exercised by a
+// bench target in the repository root.
+//
+// Scale note: the paper measures 5.2M /24 blocks over up to 24 weeks; the
+// defaults here use 10²–10³ blocks so a full run finishes in seconds.
+// Results are therefore reported as fractions and orderings (who wins, by
+// roughly what factor, where crossovers fall), not absolute counts.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/diurnalnet/diurnal/internal/blockclass"
+	"github.com/diurnalnet/diurnal/internal/dataset"
+	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/probe"
+	"github.com/diurnalnet/diurnal/internal/reconstruct"
+)
+
+// Options is the shared experiment scale knob.
+type Options struct {
+	// Blocks scales the world size; zero takes each experiment's default.
+	Blocks int
+	// Seed drives all randomness (default 1).
+	Seed uint64
+}
+
+func (o Options) blocks(def int) int {
+	if o.Blocks > 0 {
+		return o.Blocks
+	}
+	return def
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return 1
+}
+
+// parallelEach runs fn(i) for i in [0, n) on all CPUs.
+func parallelEach(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// classification is a compact per-block classification outcome.
+type classification struct {
+	responsive bool
+	diurnal    bool
+	wideSwing  bool
+	sensitive  bool
+}
+
+// classifyWorld probes every block over [start,end) with the engine and
+// classifies change sensitivity over the same window, in parallel.
+func classifyWorld(world []*dataset.WorldBlock, eng *probe.Engine, start, end int64, cfg blockclass.Config, repair bool) []classification {
+	out := make([]classification, len(world))
+	parallelEach(len(world), func(i int) {
+		wb := world[i]
+		eb := wb.EverActive()
+		if len(eb) == 0 {
+			return
+		}
+		perObs, err := eng.Collect(wb.Block, start, end)
+		if err != nil {
+			return
+		}
+		series, err := reconstruct.ReconstructObservers(perObs, eb, repair)
+		if err != nil {
+			return
+		}
+		res, err := blockclass.Classify(series, start, end, cfg)
+		if err != nil {
+			return
+		}
+		out[i] = classification{
+			responsive: res.Responsive,
+			diurnal:    res.Diurnal,
+			wideSwing:  res.WideSwing,
+			sensitive:  res.ChangeSensitive,
+		}
+	})
+	return out
+}
+
+// counts tallies a classification slice into Table 2 style rows.
+type counts struct {
+	Routed, NotResponsive, Responsive   int
+	Diurnal, NotDiurnal                 int
+	WideSwing, NarrowSwing              int
+	ChangeSensitive, NotChangeSensitive int
+}
+
+func tally(cls []classification) counts {
+	var c counts
+	c.Routed = len(cls)
+	for _, r := range cls {
+		if !r.responsive {
+			c.NotResponsive++
+			continue
+		}
+		c.Responsive++
+		if r.diurnal {
+			c.Diurnal++
+		} else {
+			c.NotDiurnal++
+		}
+		if r.wideSwing {
+			c.WideSwing++
+		} else {
+			c.NarrowSwing++
+		}
+		if r.sensitive {
+			c.ChangeSensitive++
+		} else {
+			c.NotChangeSensitive++
+		}
+	}
+	return c
+}
+
+// intersect combines two classifications the way the paper intersects
+// quarters into half-years (§3.4): a block passes a filter over the long
+// window only if it passes in both halves.
+func intersect(a, b []classification) []classification {
+	out := make([]classification, len(a))
+	for i := range a {
+		out[i] = classification{
+			responsive: a[i].responsive || b[i].responsive,
+			diurnal:    a[i].diurnal && b[i].diurnal,
+			wideSwing:  a[i].wideSwing && b[i].wideSwing,
+			sensitive:  a[i].sensitive && b[i].sensitive,
+		}
+	}
+	return out
+}
+
+// table renders labeled rows of equal length as fixed-width text.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	writeRow(dashes(widths))
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func dashes(widths []int) []string {
+	out := make([]string, len(widths))
+	for i, w := range widths {
+		out[i] = strings.Repeat("-", w)
+	}
+	return out
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+func pct(num, den int) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}
+
+// sortedKeys returns map keys in a deterministic order for rendering.
+func sortedKeys[K comparable, V any](m map[K]V, less func(a, b K) bool) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return less(keys[i], keys[j]) })
+	return keys
+}
+
+// lossyChinaBlocks marks the destinations that observer w reaches over a
+// congested link: about a quarter of Chinese blocks (§3.3).
+func lossyChinaBlocks(world []*dataset.WorldBlock) func(id netsim.BlockID) bool {
+	lossy := map[netsim.BlockID]bool{}
+	for _, wb := range world {
+		if strings.HasPrefix(wb.Place.Region.Code, "CN") &&
+			wb.Place.Seed%4 == 0 {
+			lossy[wb.ID] = true
+		}
+	}
+	return func(id netsim.BlockID) bool { return lossy[id] }
+}

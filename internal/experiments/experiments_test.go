@@ -1,0 +1,634 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/diurnalnet/diurnal/internal/netsim"
+)
+
+// The experiment tests assert the paper's qualitative shape — who wins, by
+// roughly what factor, where peaks fall — at reduced scale. Heavier
+// experiments are skipped under -short.
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.blocks(100) != 100 || o.seed() != 1 {
+		t.Fatal("zero options should take defaults")
+	}
+	o = Options{Blocks: 5, Seed: 9}
+	if o.blocks(100) != 5 || o.seed() != 9 {
+		t.Fatal("explicit options should win")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &table{header: []string{"a", "bb"}}
+	tb.add("x", "y")
+	out := tb.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "--") || !strings.Contains(out, "x") {
+		t.Fatalf("table rendering broken:\n%s", out)
+	}
+	if pct(1, 4) != "25.0%" || pct(1, 0) != "n/a" {
+		t.Fatal("pct broken")
+	}
+}
+
+func TestIntersectSemantics(t *testing.T) {
+	a := []classification{{responsive: true, diurnal: true, wideSwing: true, sensitive: true}}
+	b := []classification{{responsive: true, diurnal: false, wideSwing: true, sensitive: false}}
+	got := intersect(a, b)
+	if !got[0].responsive || got[0].diurnal || got[0].sensitive {
+		t.Fatalf("intersect = %+v", got[0])
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("world-scale experiment")
+	}
+	r, err := Table2(Options{Blocks: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	for _, name := range r.Datasets {
+		c := r.Counts[name]
+		if c.Responsive+c.NotResponsive != c.Routed {
+			t.Errorf("%s: responsive split does not sum", name)
+		}
+		if c.Diurnal+c.NotDiurnal != c.Responsive {
+			t.Errorf("%s: diurnal split does not sum", name)
+		}
+		if c.ChangeSensitive > c.Diurnal || c.ChangeSensitive > c.WideSwing {
+			t.Errorf("%s: change-sensitive must be a subset of diurnal and wide swing", name)
+		}
+		if c.NotResponsive == 0 {
+			t.Errorf("%s: firewalled space should leave some blocks unresponsive", name)
+		}
+	}
+	// Duration effect (§3.4): the one-month window finds at least as many
+	// change-sensitive blocks as the quarter, which finds at least as
+	// many as the half (allowing ±2 for sampling noise at this scale).
+	m1 := r.Counts["2020m1-w"].ChangeSensitive
+	q1 := r.Counts["2020q1-w"].ChangeSensitive
+	h1 := r.Counts["2020h1-w"].ChangeSensitive
+	if m1+2 < q1 || q1+2 < h1 {
+		t.Errorf("duration ordering violated: m1=%d q1=%d h1=%d", m1, q1, h1)
+	}
+	// Change-sensitive blocks are a minority of responsive ones.
+	if f := r.SensitiveFraction("2020q1-w"); f <= 0 || f > 0.45 {
+		t.Errorf("change-sensitive fraction %.2f out of plausible range", f)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("world-scale experiment")
+	}
+	r, err := Table3(Options{Blocks: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	if r.TruthSensitive == 0 {
+		t.Fatal("ground truth found no change-sensitive blocks")
+	}
+	if frac := float64(r.RecoveredByBest) / float64(r.TruthSensitive); frac < 0.5 {
+		t.Errorf("matched-window recovery %.0f%% < 50%% (paper: 70%%)", 100*frac)
+	}
+	// The matched 2-week window should find at least as many CS blocks as
+	// the 12-week option (shorter durations detect more, §3.2.1).
+	match := r.Counts["2020it89-match-ejnw"].ChangeSensitive
+	q1 := r.Counts["2020q1-ejnw"].ChangeSensitive
+	if match+2 < q1 {
+		t.Errorf("matched window found %d vs q1 %d; want >= (duration effect)", match, q1)
+	}
+	// Reconstruction overestimates wide swing relative to truth (§3.2.2).
+	if r.Counts["2020q1-ejnw"].WideSwing+2 < r.Counts["2020it89-w(truth)"].WideSwing {
+		t.Errorf("reconstruction should not undercount wide swing materially")
+	}
+}
+
+func TestTable4Coherence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("world-scale experiment")
+	}
+	r, err := Table4(Options{Blocks: 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	rep := r.Report
+	if rep.Observed+rep.UnderObserved != rep.Cells {
+		t.Error("observed split does not sum")
+	}
+	if rep.Represented+rep.UnderRepresented != rep.Observed {
+		t.Error("represented split does not sum")
+	}
+	if rep.CSBlocksRepresented > rep.CSBlocksObserved || rep.RespBlocksRepresented > rep.RespBlocksObserved {
+		t.Error("represented sums exceed observed sums")
+	}
+	// With scale-adjusted thresholds, most observed cells are represented
+	// and block-weighted coverage is high (the paper's 60%% / 98.5%%).
+	// At 1/170 of the paper's block density, zero-inflation keeps many
+	// small cells unrepresented, so the bounds are looser than the
+	// paper's 60%/98.5%; EXPERIMENTS.md records larger-scale runs.
+	sr := r.ScaledReport
+	if sr.RepresentedCellFraction() < 0.3 {
+		t.Errorf("scaled represented-cell fraction %.2f < 0.3", sr.RepresentedCellFraction())
+	}
+	if sr.RespBlockCoverage() < 0.5 {
+		t.Errorf("scaled block-weighted coverage %.2f < 0.5", sr.RespBlockCoverage())
+	}
+	if sr.RespBlockCoverage() < sr.RepresentedCellFraction() {
+		t.Errorf("block-weighted coverage %.2f should exceed cell fraction %.2f",
+			sr.RespBlockCoverage(), sr.RepresentedCellFraction())
+	}
+	// Asia carries the most change-sensitive blocks (Figure 7).
+	asia := r.ByContinent[0]
+	for cont, n := range r.ByContinent {
+		if int(cont) != 0 && n > asia {
+			t.Errorf("continent %v has %d CS blocks > Asia's %d", cont, n, asia)
+		}
+	}
+}
+
+func TestTable5PrecisionRecall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline experiment")
+	}
+	r, err := Table5(Options{Blocks: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	if r.Sampled == 0 || r.Sampled > 50 {
+		t.Fatalf("sampled %d blocks", r.Sampled)
+	}
+	if r.WFHInQuarter+r.NoWFHInQuarter != r.Sampled {
+		t.Error("sample split does not sum")
+	}
+	if r.Precision < 0.75 {
+		t.Errorf("precision %.0f%% < 75%% (paper: 93%%)", 100*r.Precision)
+	}
+	if r.RecallWeak < 0.5 {
+		t.Errorf("recall %.0f%% < 50%% (paper: 72%%)", 100*r.RecallWeak)
+	}
+}
+
+func TestLocationValidationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline experiment")
+	}
+	r, err := LocationValidation(Options{Blocks: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	if len(r.Locations) != 2 {
+		t.Fatal("want UAE and Slovenia")
+	}
+	truth := map[string]int64{
+		"United Arab Emirates": netsim.Date(2020, time.March, 24),
+		"Slovenia":             netsim.Date(2020, time.March, 16),
+	}
+	for _, l := range r.Locations {
+		if l.Sampled == 0 {
+			t.Errorf("%s: no change-sensitive blocks sampled", l.Name)
+			continue
+		}
+		if l.NearWFH > 0 && l.Precision < 0.75 {
+			t.Errorf("%s: precision %.0f%% < 75%%", l.Name, 100*l.Precision)
+		}
+		if l.PeakDay == "" {
+			t.Errorf("%s: no peak day", l.Name)
+			continue
+		}
+		peak, err := time.Parse("2006-01-02", l.PeakDay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := peak.Unix() - truth[l.Name]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 9*netsim.SecondsPerDay {
+			t.Errorf("%s: peak %s more than 9 days from lockdown", l.Name, l.PeakDay)
+		}
+	}
+}
+
+func TestFigure1ExampleBlock(t *testing.T) {
+	r, err := Figure1(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	if !r.Analysis.Class.ChangeSensitive {
+		t.Error("example block must be change-sensitive")
+	}
+	if !r.WFHDetected {
+		t.Error("WFH change not detected within ±4 days of 2020-03-15")
+	}
+	if r.MaxEverActive < 60 || r.MaxEverActive > 110 {
+		t.Errorf("|E(b)| = %d, want close to the paper's 88", r.MaxEverActive)
+	}
+}
+
+func TestFigure2Reconstruction(t *testing.T) {
+	r, err := Figure2(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	if r.FirstComplete != 1 {
+		t.Errorf("estimate should start at round 2 (index 1), got %d", r.FirstComplete)
+	}
+	for i, round := range r.Rounds {
+		if r.Estimates[i] != float64(r.Truth[round]) && round >= 7 {
+			t.Errorf("round %d estimate %.0f != truth %d after convergence", round, r.Estimates[i], r.Truth[round])
+		}
+	}
+}
+
+func TestFigure3MoreObserversFaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("world-scale experiment")
+	}
+	r, err := Figure3(Options{Blocks: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	if len(r.FracWithin6h) != 4 {
+		t.Fatal("want 4 observer counts")
+	}
+	if r.FracWithin6h[3] < r.FracWithin6h[0] {
+		t.Errorf("4 observers (%.2f) should cover at least as much as 1 (%.2f) at 6h",
+			r.FracWithin6h[3], r.FracWithin6h[0])
+	}
+	if r.FracWithin12h[3] <= r.FracWithin12h[0] {
+		t.Errorf("4 observers (%.2f) should beat 1 (%.2f) at 12h",
+			r.FracWithin12h[3], r.FracWithin12h[0])
+	}
+}
+
+func TestFigure4EasyVsHard(t *testing.T) {
+	r, err := Figure4(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	if r.EasyR < 0.8 {
+		t.Errorf("easy block r=%.2f, want >= 0.8 (paper: 0.89)", r.EasyR)
+	}
+	if r.HardR >= r.EasyR {
+		t.Errorf("hard block r=%.2f should be worse than easy %.2f", r.HardR, r.EasyR)
+	}
+	if r.HardScan <= r.EasyScan {
+		t.Error("hard block should scan slower")
+	}
+}
+
+func TestFigure5FailuresInCorner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("world-scale experiment")
+	}
+	r, err := Figure5(Options{Blocks: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	if r.TotalFailures == 0 {
+		t.Fatal("single-observer reconstruction should miss some dense blocks")
+	}
+	if r.CornerShare < 0.7 {
+		t.Errorf("only %.0f%% of failures in the slow/dense corner, want >= 70%%", 100*r.CornerShare)
+	}
+}
+
+func TestFigure6RepairShape(t *testing.T) {
+	r, err := Figure6(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	// Observer w (index 0) is depressed and recovers most of the gap.
+	cleanAvg := (r.Without[1] + r.Without[2] + r.Without[3]) / 3
+	if r.Without[0] >= cleanAvg-0.02 {
+		t.Errorf("lossy observer %.3f should sit below clean %.3f", r.Without[0], cleanAvg)
+	}
+	if r.With[0] <= r.Without[0]+0.02 {
+		t.Errorf("repair should raise the lossy observer: %.3f -> %.3f", r.Without[0], r.With[0])
+	}
+	for i := 1; i <= 3; i++ {
+		if d := r.With[i] - r.Without[i]; d > 0.02 || d < -0.001 {
+			t.Errorf("repair changed clean observer %s by %.3f", r.Observers[i], d)
+		}
+	}
+	if r.AllWith <= r.AllWithout {
+		t.Error("repair should raise the merged reply rate")
+	}
+}
+
+func TestFigure15VPN(t *testing.T) {
+	r, err := Figure15(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	if !r.ChangeSensitive || !r.Detected {
+		t.Errorf("VPN migration should be detected: %+v", r)
+	}
+}
+
+func TestFBSModelQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("world-scale experiment")
+	}
+	r, err := FBSModel(Options{Blocks: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	if r.SlowBlocks == 0 {
+		t.Fatal("no slow blocks in training set")
+	}
+	if r.Accuracy < 0.9 {
+		t.Errorf("accuracy %.2f < 0.9", r.Accuracy)
+	}
+	if r.FalseNegativeRate > 0.15 {
+		t.Errorf("FNR %.2f > 0.15 (paper: 0.5%%)", r.FalseNegativeRate)
+	}
+}
+
+func TestWorldStudies2020(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy half-year pipeline run")
+	}
+	opts := Options{Blocks: 700}
+	f8, err := Figure8(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", f8)
+	if f8.CSBlocks[0] == 0 { // Asia
+		t.Fatal("no change-sensitive blocks in Asia")
+	}
+	// Asia shows more activity-change signal than Oceania (§4.1).
+	asiaTotal, oceaniaTotal := 0.0, 0.0
+	for _, v := range f8.Series[0] {
+		asiaTotal += v * float64(f8.CSBlocks[0])
+	}
+	for _, v := range f8.Series[5] {
+		oceaniaTotal += v * float64(f8.CSBlocks[5])
+	}
+	if asiaTotal <= oceaniaTotal {
+		t.Errorf("Asia block-weighted changes %.1f should exceed Oceania %.1f", asiaTotal, oceaniaTotal)
+	}
+
+	f9, err := Figure9(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", f9)
+	for _, c := range []*CityStudy{&f9.Wuhan, &f9.Beijing, &f9.Shanghai} {
+		if c.CSBlocks == 0 {
+			t.Errorf("%s has no change-sensitive blocks", c.Name)
+			continue
+		}
+		if januaryPeak(c, 2020) == 0 {
+			t.Errorf("%s shows no January 2020 downturn", c.Name)
+		}
+	}
+
+	f10, err := Figure10(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", f10)
+	if f10.Delhi.CSBlocks == 0 {
+		t.Fatal("no change-sensitive blocks in New Delhi")
+	}
+	if f10.RiotsPeak == 0 && f10.CurfewPeak == 0 {
+		t.Error("neither Delhi event produced a downturn")
+	}
+}
+
+func TestWorldStudies2023Controls(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy quarter pipeline run")
+	}
+	opts := Options{Blocks: 700}
+	f12, err := Figure12(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", f12)
+	if f12.Beijing.CSBlocks > 0 && f12.FestivalPeak == 0 {
+		t.Error("2023 Spring Festival should register in Beijing")
+	}
+	f13, err := Figure13(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", f13)
+	// The null control may show sampling noise but no event-scale peak
+	// beyond what a few blocks' noise can make.
+	if f13.Delhi.CSBlocks >= 5 && f13.MaxFraction > 0.5 {
+		t.Errorf("2023 Delhi null control has a large peak %.2f", f13.MaxFraction)
+	}
+}
+
+func TestFigure14ThresholdCurves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("world-scale experiment")
+	}
+	r, err := Figure14(Options{Blocks: 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	for i := 1; i < len(r.Represented); i++ {
+		if r.Represented[i] > r.Represented[i-1]+1e-9 || r.Observed[i] > r.Observed[i-1]+1e-9 {
+			t.Fatal("threshold curves must be non-increasing")
+		}
+	}
+	if r.Observed[0] != 1.0 {
+		t.Errorf("threshold 1 observed fraction = %.2f, want 1", r.Observed[0])
+	}
+}
+
+func TestAblationShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("world-scale ablations")
+	}
+	stlRes, err := AblationSTLvsNaive(Options{Blocks: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", stlRes)
+	if stlRes.STLRMSE >= stlRes.NaiveRMSE {
+		t.Errorf("STL RMSE %.3f should beat naive %.3f under outliers", stlRes.STLRMSE, stlRes.NaiveRMSE)
+	}
+
+	swing, err := AblationSwing(Options{Blocks: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", swing)
+	for i := 1; i < len(swing.Sensitive); i++ {
+		if swing.Sensitive[i] > swing.Sensitive[i-1] {
+			t.Fatal("raising the swing threshold cannot admit more blocks")
+		}
+	}
+	// s=5 keeps the vast majority of diurnal blocks (paper: ~95%).
+	for i, s := range swing.Thresholds {
+		if s == 5 && swing.DiurnalKept[i] < 0.8 {
+			t.Errorf("s=5 keeps only %.0f%% of diurnal blocks", 100*swing.DiurnalKept[i])
+		}
+	}
+
+	repair, err := AblationLossRepair(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", repair)
+	for i, loss := range repair.LossRates {
+		if loss >= 0.05 && repair.RateErrWith[i] >= repair.RateErrWithout[i] {
+			t.Errorf("repair did not reduce rate error at loss %.0f%%", 100*loss)
+		}
+	}
+
+	pers, err := AblationPersistence(Options{Blocks: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", pers)
+	for i, m := range pers.MinDays {
+		if m <= 2 && pers.WeekendOnly[i] == 0 {
+			t.Errorf("rule %d-of-7 should admit weekend-only decoys", m)
+		}
+		if m >= 4 && pers.WeekendOnly[i] > 0 {
+			t.Errorf("rule %d-of-7 should reject weekend-only decoys", m)
+		}
+	}
+}
+
+func TestAblationOutageFilter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline ablation")
+	}
+	r, err := AblationOutageFilter(Options{Blocks: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	if r.LeakNone == 0 {
+		t.Fatal("unfiltered multi-day outages should produce spurious changes")
+	}
+	if r.LeakBoth >= r.LeakNone {
+		t.Errorf("belief masking removed nothing: %d -> %d", r.LeakNone, r.LeakBoth)
+	}
+	if r.LeakBoth > r.Blocks/6 {
+		t.Errorf("too many outages leak through the full stack: %d of %d", r.LeakBoth, r.Blocks)
+	}
+	if r.WFHKept < r.WFHBlocks*3/4 {
+		t.Errorf("outage filtering destroyed genuine WFH changes: %d of %d kept", r.WFHKept, r.WFHBlocks)
+	}
+}
+
+func TestFigure11RepresentativeBlocks(t *testing.T) {
+	r, err := Figure11(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	if !r.CovidDetected {
+		t.Error("Figure 11a lockdown not detected")
+	}
+	if !r.ReassignSuppressed {
+		t.Error("Figure 11b reassignment pair not suppressed")
+	}
+}
+
+func TestExtraProbingRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("world-scale experiment")
+	}
+	r, err := ExtraProbing(Options{Blocks: 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	if r.TruthSensitive == 0 {
+		t.Fatal("no truth change-sensitive blocks")
+	}
+	if r.ExtraRecovered < r.BaseRecovered {
+		t.Errorf("extra probing lost blocks: %d -> %d", r.BaseRecovered, r.ExtraRecovered)
+	}
+	if r.Selected > 0 && r.MedianScanExtra >= r.MedianScanBase {
+		t.Errorf("extra probing did not shorten scans: %.1f -> %.1f h",
+			r.MedianScanBase, r.MedianScanExtra)
+	}
+}
+
+func TestObserverHealthExcludesBrokenSite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("world-scale experiment")
+	}
+	r, err := ObserverHealth(Options{Blocks: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	foundC := false
+	for _, s := range r.Suspects {
+		if s == "c" {
+			foundC = true
+		}
+		if s == "e" || s == "j" || s == "n" {
+			t.Errorf("healthy site %s flagged", s)
+		}
+	}
+	if !foundC {
+		t.Error("broken site c not flagged")
+	}
+	// Excluding the broken site should not hurt, and typically helps,
+	// classification fidelity.
+	errWith := abs(r.CSWithBroken - r.CSTruth)
+	errWithout := abs(r.CSWithoutBroken - r.CSTruth)
+	if errWithout > errWith {
+		t.Errorf("excluding the broken site hurt: |%d-%d| vs |%d-%d|",
+			r.CSWithoutBroken, r.CSTruth, r.CSWithBroken, r.CSTruth)
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestProfileSeparation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("world-scale experiment")
+	}
+	r, err := ProfileSeparation(Options{Blocks: 220})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	if r.WorkplaceBlocks == 0 || r.HomeBlocks == 0 {
+		t.Fatal("need both archetypes in the sample")
+	}
+	if r.WorkplaceAccuracy < 0.8 {
+		t.Errorf("workplace accuracy %.0f%% < 80%%", 100*r.WorkplaceAccuracy)
+	}
+	if r.HomeAccuracy < 0.8 {
+		t.Errorf("home accuracy %.0f%% < 80%%", 100*r.HomeAccuracy)
+	}
+}

@@ -1,0 +1,187 @@
+// Package geo provides the geographic layer of the reproduction: a
+// deterministic synthetic world atlas standing in for Maxmind geolocation
+// (paper §2.6), 2×2° gridcell bucketing, and the represented/observed
+// coverage accounting of Table 4. Region densities and address-use
+// profiles approximate Figure 7: Asia dense with public dynamic IPs,
+// Europe and North America moderate behind always-on NAT, South America
+// and Africa sparse.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Continent enumerates the paper's Figure 8 aggregation level.
+type Continent int
+
+// Continents in Figure 8's panel order.
+const (
+	Asia Continent = iota
+	Europe
+	NorthAmerica
+	SouthAmerica
+	Africa
+	Oceania
+)
+
+// String names the continent.
+func (c Continent) String() string {
+	switch c {
+	case Asia:
+		return "Asia"
+	case Europe:
+		return "Europe"
+	case NorthAmerica:
+		return "North America"
+	case SouthAmerica:
+		return "South America"
+	case Africa:
+		return "Africa"
+	case Oceania:
+		return "Oceania"
+	default:
+		return fmt.Sprintf("Continent(%d)", int(c))
+	}
+}
+
+// Continents lists all continents in display order.
+func Continents() []Continent {
+	return []Continent{Asia, Europe, NorthAmerica, SouthAmerica, Africa, Oceania}
+}
+
+// CellKey identifies a 2×2° latitude/longitude gridcell by the floor of
+// each coordinate divided by two ("two degrees is 222 km at the equator").
+type CellKey struct {
+	Lat, Lon int
+}
+
+// CellOf returns the gridcell containing the coordinate.
+func CellOf(lat, lon float64) CellKey {
+	return CellKey{Lat: int(math.Floor(lat / 2)), Lon: int(math.Floor(lon / 2))}
+}
+
+// Center returns the cell's center coordinate.
+func (k CellKey) Center() (lat, lon float64) {
+	return float64(k.Lat)*2 + 1, float64(k.Lon)*2 + 1
+}
+
+// String renders the cell's southwest corner like "(30N, 114E)", matching
+// the paper's notation.
+func (k CellKey) String() string {
+	lat, lon := float64(k.Lat)*2, float64(k.Lon)*2
+	ns, ew := "N", "E"
+	if lat < 0 {
+		ns, lat = "S", -lat
+	}
+	if lon < 0 {
+		ew, lon = "W", -lon
+	}
+	return fmt.Sprintf("(%.0f%s, %.0f%s)", lat, ns, lon, ew)
+}
+
+// Archetype classifies what kind of /24 a placement hosts. The dataset
+// layer maps archetypes onto netsim block specs.
+type Archetype int
+
+// Archetypes of address use, following §3.5's discussion of why
+// change-sensitivity varies by region.
+const (
+	// Workplace: public dynamic IPs used by desktops during work hours —
+	// the prime change-sensitive population.
+	Workplace Archetype = iota
+	// HomePublic: home devices on public dynamic IPs (evening diurnal).
+	HomePublic
+	// NATGateway: a handful of always-on router addresses hiding users.
+	NATGateway
+	// ServerFarm: always-on servers, responsive but flat.
+	ServerFarm
+	// FirewalledNet: allocated space that drops probes.
+	FirewalledNet
+	// SparseMixed: lightly used blocks with intermittent occupancy.
+	SparseMixed
+)
+
+// String names the archetype.
+func (a Archetype) String() string {
+	switch a {
+	case Workplace:
+		return "workplace"
+	case HomePublic:
+		return "home-public"
+	case NATGateway:
+		return "nat-gateway"
+	case ServerFarm:
+		return "server-farm"
+	case FirewalledNet:
+		return "firewalled"
+	case SparseMixed:
+		return "sparse-mixed"
+	default:
+		return fmt.Sprintf("Archetype(%d)", int(a))
+	}
+}
+
+// Mix is a probability distribution over archetypes for one region.
+type Mix struct {
+	Workplace, HomePublic, NATGateway, ServerFarm, FirewalledNet, SparseMixed float64
+}
+
+// normalizeTotal returns the sum of all weights.
+func (m Mix) total() float64 {
+	return m.Workplace + m.HomePublic + m.NATGateway + m.ServerFarm + m.FirewalledNet + m.SparseMixed
+}
+
+// pick selects an archetype from the mix given a uniform u in [0,1).
+func (m Mix) pick(u float64) Archetype {
+	t := m.total()
+	if t <= 0 {
+		return SparseMixed
+	}
+	u *= t
+	for _, c := range []struct {
+		w float64
+		a Archetype
+	}{
+		{m.Workplace, Workplace},
+		{m.HomePublic, HomePublic},
+		{m.NATGateway, NATGateway},
+		{m.ServerFarm, ServerFarm},
+		{m.FirewalledNet, FirewalledNet},
+		{m.SparseMixed, SparseMixed},
+	} {
+		if u < c.w {
+			return c.a
+		}
+		u -= c.w
+	}
+	return SparseMixed
+}
+
+// Region is one country-scale area of the synthetic atlas.
+type Region struct {
+	// Code is an ISO-like short code ("CN", "US-W", ...); Name is the
+	// human label.
+	Code, Name string
+	Continent  Continent
+	// CenterLat/CenterLon and SpanLat/SpanLon bound the region's blocks.
+	CenterLat, CenterLon float64
+	SpanLat, SpanLon     float64
+	// TZOffset is the local-time offset east of UTC in seconds.
+	TZOffset int64
+	// Weight is the relative number of /24 blocks the region contributes
+	// to a world build.
+	Weight float64
+	// Mix is the archetype distribution.
+	Mix Mix
+}
+
+// Placement locates one /24 block in the world.
+type Placement struct {
+	Index     int // global block index
+	Region    *Region
+	Lat, Lon  float64
+	Cell      CellKey
+	Archetype Archetype
+	Seed      uint64
+}

@@ -1,0 +1,50 @@
+package netsim
+
+import "time"
+
+// Timestamps throughout the simulator are Unix seconds (UTC), so calendar
+// dates from the paper's 2019–2023 datasets map directly onto model time.
+
+// SecondsPerDay is the length of a UTC day.
+const SecondsPerDay = 86400
+
+// RoundSeconds is the Trinocular probing round length: 11 minutes (§2.2).
+const RoundSeconds = 660
+
+// Date returns the Unix timestamp of midnight UTC on the given date.
+func Date(year int, month time.Month, day int) int64 {
+	return time.Date(year, month, day, 0, 0, 0, 0, time.UTC).Unix()
+}
+
+// DayIndex returns the number of whole UTC days since the Unix epoch,
+// correct for negative timestamps as well.
+func DayIndex(t int64) int64 {
+	return floorDiv(t, SecondsPerDay)
+}
+
+// SecondOfDay returns the seconds elapsed since the most recent UTC
+// midnight.
+func SecondOfDay(t int64) int64 {
+	return t - DayIndex(t)*SecondsPerDay
+}
+
+// Weekday returns the day of week of t with 0=Sunday .. 6=Saturday.
+// (1970-01-01 was a Thursday.)
+func Weekday(t int64) int {
+	return int(((DayIndex(t)+4)%7 + 7) % 7)
+}
+
+// IsWeekend reports whether t falls on Saturday or Sunday (UTC).
+func IsWeekend(t int64) bool {
+	wd := Weekday(t)
+	return wd == 0 || wd == 6
+}
+
+// floorDiv divides rounding toward negative infinity.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}

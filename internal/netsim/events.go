@@ -1,0 +1,142 @@
+package netsim
+
+import "fmt"
+
+// EventKind classifies a scheduled real-world event affecting a block.
+type EventKind uint8
+
+const (
+	// EventWFH is a work-from-home onset: from Start (to End, or forever
+	// when End is zero), each Worker address independently adopts WFH
+	// with probability Adoption and stops appearing at its workplace
+	// address; HomeEvening adopters appear during the day instead.
+	EventWFH EventKind = iota
+	// EventHoliday marks days treated as non-workdays (Spring Festival,
+	// MLK day, ...). Adoption scales how many workers take the holiday.
+	EventHoliday
+	// EventCurfew is a government-mandated stay-at-home order; it behaves
+	// like a holiday for workplaces and keeps home devices online all day.
+	EventCurfew
+	// EventOutage silences the whole block for [Start, End) — the
+	// down-then-up signature the pipeline must filter out (§2.6).
+	EventOutage
+	// EventRenumber models ISP renumbering: dynamic addresses go quiet
+	// for a short gap after Start and return with re-drawn habits,
+	// producing the paired down/up changes of "disruptions and
+	// anti-disruptions" (§2.6).
+	EventRenumber
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventWFH:
+		return "wfh"
+	case EventHoliday:
+		return "holiday"
+	case EventCurfew:
+		return "curfew"
+	case EventOutage:
+		return "outage"
+	case EventRenumber:
+		return "renumber"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one scheduled occurrence in a block's timeline.
+type Event struct {
+	Kind EventKind
+	// Start and End bound the event in Unix seconds (UTC). End == 0 means
+	// open-ended (used for WFH onsets). Renumber events use only Start.
+	Start, End int64
+	// Adoption is the fraction of affected addresses (WFH, holiday,
+	// curfew). Zero defaults to 1.
+	Adoption float64
+}
+
+// active reports whether the event covers time t.
+func (e Event) active(t int64) bool {
+	if t < e.Start {
+		return false
+	}
+	return e.End == 0 || t < e.End
+}
+
+func (e Event) adoption() float64 {
+	if e.Adoption == 0 {
+		return 1
+	}
+	return e.Adoption
+}
+
+// renumberGapSeconds is how long dynamic addresses stay dark after a
+// renumbering event before returning with new habits.
+const renumberGapSeconds = 2 * 3600
+
+// inOutage reports whether any outage event covers t.
+func (b *Block) inOutage(t int64) bool {
+	for _, e := range b.events {
+		if e.Kind == EventOutage && e.active(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// renumberState returns the renumbering generation at t (the count of
+// renumber events that have started) and whether t falls inside a
+// renumbering dark gap.
+func (b *Block) renumberState(t int64) (gen uint64, inGap bool) {
+	for _, e := range b.events {
+		if e.Kind != EventRenumber || t < e.Start {
+			continue
+		}
+		gen++
+		if t < e.Start+renumberGapSeconds {
+			inGap = true
+		}
+	}
+	return gen, inGap
+}
+
+// wfhAdopter reports whether address addr has adopted work-from-home at t.
+func (b *Block) wfhAdopter(addr int, t int64) bool {
+	for i, e := range b.events {
+		if e.Kind != EventWFH || !e.active(t) {
+			continue
+		}
+		if HashUnit(b.Seed, uint64(addr), uint64(i), saltWFH) < e.adoption() {
+			return true
+		}
+	}
+	return false
+}
+
+// holidayFor reports whether address addr observes a holiday or curfew
+// covering t.
+func (b *Block) holidayFor(addr int, t int64) bool {
+	for i, e := range b.events {
+		if (e.Kind != EventHoliday && e.Kind != EventCurfew) || !e.active(t) {
+			continue
+		}
+		if HashUnit(b.Seed, uint64(addr), uint64(i), saltHoliday) < e.adoption() {
+			return true
+		}
+	}
+	return false
+}
+
+// CountActive returns the number of responding addresses at t — the
+// block's ground-truth active count, equivalent to what a full survey
+// round observes.
+func (b *Block) CountActive(t int64) int {
+	n := 0
+	for a := 0; a < 256; a++ {
+		if b.Active(a, t) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,218 @@
+// Package outage implements Trinocular's Bayesian outage detection (Quan,
+// Heidemann, Pradkin, SIGCOMM 2013), the system whose probing data the
+// paper reuses. Each /24 block carries a belief B = P(block is up) that is
+// updated per probe: a positive reply is strong evidence the block is up,
+// a non-reply is weak evidence it is down, weighted by the block's
+// expected availability A(E(b)). The paper's change pipeline consults
+// these detections to discard changes caused by outages rather than by
+// human activity (§2.6: "We can filter out such events by comparing them
+// with outage detections").
+package outage
+
+import (
+	"fmt"
+
+	"github.com/diurnalnet/diurnal/internal/probe"
+)
+
+// State is the detector's ternary block state.
+type State int
+
+const (
+	// Unknown means the belief is between the decision thresholds.
+	Unknown State = iota
+	// Up means belief >= UpThreshold.
+	Up
+	// Down means belief <= DownThreshold: the block is in an outage.
+	Down
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Up:
+		return "up"
+	case Down:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// Params tunes the Bayesian update. Zero values take Trinocular's
+// published constants.
+type Params struct {
+	// UpThreshold and DownThreshold are the belief decision boundaries
+	// (Trinocular uses 0.9 and 0.1).
+	UpThreshold, DownThreshold float64
+	// LieProbability is the probability of a positive reply from a down
+	// block (spoofing, middleboxes); Trinocular's ε = 0.01.
+	LieProbability float64
+	// BeliefFloor and BeliefCeiling cap the accumulated evidence so the
+	// detector can change its mind quickly (Trinocular caps odds).
+	BeliefFloor, BeliefCeiling float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.UpThreshold == 0 {
+		p.UpThreshold = 0.9
+	}
+	if p.DownThreshold == 0 {
+		p.DownThreshold = 0.1
+	}
+	if p.LieProbability == 0 {
+		p.LieProbability = 0.01
+	}
+	if p.BeliefFloor == 0 {
+		p.BeliefFloor = 0.01
+	}
+	if p.BeliefCeiling == 0 {
+		p.BeliefCeiling = 0.99
+	}
+	return p
+}
+
+// Interval is one detected outage: [Start, End) in Unix seconds. End is
+// zero while the outage is still open at the end of observation.
+type Interval struct {
+	Start, End int64
+}
+
+// Covers reports whether t falls inside the interval (an open interval
+// covers everything after Start).
+func (iv Interval) Covers(t int64) bool {
+	return t >= iv.Start && (iv.End == 0 || t < iv.End)
+}
+
+// Detector tracks one block's up/down belief over a probe stream.
+type Detector struct {
+	params Params
+	// availability is A(E(b)): the probability that a probe to a random
+	// ever-active address answers while the block is up.
+	availability float64
+	belief       float64
+	state        State
+	outages      []Interval
+}
+
+// NewDetector builds a detector for a block with the given expected
+// availability (clamped into [0.05, 0.99]; Trinocular refuses to reason
+// about blocks with lower A).
+func NewDetector(availability float64, params Params) (*Detector, error) {
+	if availability <= 0 || availability > 1 {
+		return nil, fmt.Errorf("outage: availability %v outside (0,1]", availability)
+	}
+	if availability < 0.05 {
+		availability = 0.05
+	}
+	if availability > 0.99 {
+		availability = 0.99
+	}
+	p := params.withDefaults()
+	if p.DownThreshold >= p.UpThreshold {
+		return nil, fmt.Errorf("outage: thresholds inverted (%v >= %v)", p.DownThreshold, p.UpThreshold)
+	}
+	return &Detector{
+		params:       p,
+		availability: availability,
+		belief:       p.BeliefCeiling, // blocks start presumed up
+		state:        Up,
+	}, nil
+}
+
+// Belief returns the current P(block up).
+func (d *Detector) Belief() float64 { return d.belief }
+
+// State returns the current decision.
+func (d *Detector) State() State { return d.state }
+
+// Observe updates the belief with one probe result at time t. Probe
+// results must arrive in time order.
+func (d *Detector) Observe(t int64, up bool) {
+	a := d.availability
+	eps := d.params.LieProbability
+	var pObsUp, pObsDown float64
+	if up {
+		pObsUp, pObsDown = a, eps
+	} else {
+		pObsUp, pObsDown = 1-a, 1-eps
+	}
+	num := pObsUp * d.belief
+	den := num + pObsDown*(1-d.belief)
+	if den > 0 {
+		d.belief = num / den
+	}
+	if d.belief < d.params.BeliefFloor {
+		d.belief = d.params.BeliefFloor
+	}
+	if d.belief > d.params.BeliefCeiling {
+		d.belief = d.params.BeliefCeiling
+	}
+	switch {
+	case d.belief >= d.params.UpThreshold:
+		if d.state == Down {
+			// Outage ends.
+			d.outages[len(d.outages)-1].End = t
+		}
+		d.state = Up
+	case d.belief <= d.params.DownThreshold:
+		if d.state != Down {
+			d.outages = append(d.outages, Interval{Start: t})
+		}
+		d.state = Down
+	}
+}
+
+// Outages returns the detected outage intervals so far. The last interval
+// has End == 0 when the block is still down.
+func (d *Detector) Outages() []Interval { return d.outages }
+
+// FromRecords runs a detector over a merged, time-ordered record stream
+// and returns the detected outages. availability is estimated from the
+// stream itself when zero (mean reply rate, the long-term A estimate the
+// paper describes in §2.8).
+func FromRecords(records []probe.Record, availability float64, params Params) ([]Interval, error) {
+	if len(records) == 0 {
+		return nil, nil
+	}
+	if availability == 0 {
+		up := 0
+		for _, r := range records {
+			if r.Up {
+				up++
+			}
+		}
+		availability = float64(up) / float64(len(records))
+		if availability == 0 {
+			return nil, nil // never-responsive block: nothing to detect
+		}
+	}
+	d, err := NewDetector(availability, params)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range records {
+		d.Observe(r.T, r.Up)
+	}
+	return d.Outages(), nil
+}
+
+// MaskChanges reports, for each change time, whether it falls within slop
+// seconds of a detected outage interval — the §2.6 cross-check that
+// separates network failures from human-activity changes.
+func MaskChanges(times []int64, outages []Interval, slop int64) []bool {
+	out := make([]bool, len(times))
+	for i, t := range times {
+		for _, iv := range outages {
+			end := iv.End
+			if end == 0 {
+				end = t + slop + 1 // open outage covers everything after start
+			}
+			if t >= iv.Start-slop && t < end+slop {
+				out[i] = true
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package outage
+
+import (
+	"testing"
+	"time"
+
+	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/probe"
+	"github.com/diurnalnet/diurnal/internal/reconstruct"
+)
+
+var jan6 = netsim.Date(2020, time.January, 6)
+
+func TestStateString(t *testing.T) {
+	for _, s := range []State{Up, Down, Unknown} {
+		if s.String() == "" {
+			t.Errorf("state %d renders empty", s)
+		}
+	}
+}
+
+func TestNewDetectorValidation(t *testing.T) {
+	if _, err := NewDetector(0, Params{}); err == nil {
+		t.Error("expected error for zero availability")
+	}
+	if _, err := NewDetector(1.5, Params{}); err == nil {
+		t.Error("expected error for availability > 1")
+	}
+	if _, err := NewDetector(0.5, Params{UpThreshold: 0.1, DownThreshold: 0.9}); err == nil {
+		t.Error("expected error for inverted thresholds")
+	}
+	d, err := NewDetector(0.001, Params{}) // clamped up to 0.05
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.State() != Up {
+		t.Error("detector should start presumed up")
+	}
+}
+
+func TestBeliefCollapsesOnSilence(t *testing.T) {
+	d, err := NewDetector(0.6, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A handful of non-replies should take the block down.
+	for i := 0; i < 10; i++ {
+		d.Observe(int64(i*660), false)
+	}
+	if d.State() != Down {
+		t.Fatalf("state = %v after sustained silence, belief %.3f", d.State(), d.Belief())
+	}
+	if len(d.Outages()) != 1 || d.Outages()[0].End != 0 {
+		t.Fatalf("want one open outage, got %+v", d.Outages())
+	}
+}
+
+func TestBeliefRecoversOnReply(t *testing.T) {
+	d, err := NewDetector(0.6, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		d.Observe(int64(i*660), false)
+	}
+	// Positive replies are strong evidence: recovery within a couple.
+	for i := 10; i < 14; i++ {
+		d.Observe(int64(i*660), true)
+	}
+	if d.State() != Up {
+		t.Fatalf("state = %v after replies, belief %.3f", d.State(), d.Belief())
+	}
+	outs := d.Outages()
+	if len(outs) != 1 || outs[0].End == 0 {
+		t.Fatalf("outage should be closed: %+v", outs)
+	}
+	if outs[0].End <= outs[0].Start {
+		t.Fatal("outage interval inverted")
+	}
+}
+
+func TestLowAvailabilityNeedsMoreEvidence(t *testing.T) {
+	// With A = 0.1, single non-replies are weak evidence; the detector
+	// must not declare an outage after just two of them.
+	d, err := NewDetector(0.1, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Observe(0, false)
+	d.Observe(660, false)
+	if d.State() == Down {
+		t.Fatalf("A=0.1 block marked down after 2 non-replies (belief %.3f)", d.Belief())
+	}
+	// But with A = 0.9, two non-replies are damning.
+	d2, _ := NewDetector(0.9, Params{})
+	d2.Observe(0, false)
+	d2.Observe(660, false)
+	if d2.Belief() >= d.Belief() {
+		t.Error("higher availability should make silence more suspicious")
+	}
+}
+
+func TestIntervalCovers(t *testing.T) {
+	iv := Interval{Start: 100, End: 200}
+	if !iv.Covers(100) || !iv.Covers(199) || iv.Covers(200) || iv.Covers(99) {
+		t.Fatal("closed interval coverage wrong")
+	}
+	open := Interval{Start: 100}
+	if !open.Covers(1 << 40) {
+		t.Fatal("open interval should cover the future")
+	}
+}
+
+func TestFromRecordsDetectsSimulatedOutage(t *testing.T) {
+	b, err := netsim.NewBlock(1, 77, netsim.Spec{Workers: 40, AlwaysOn: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oStart := jan6 + 2*netsim.SecondsPerDay
+	oEnd := oStart + 36*3600
+	b.AddEvent(netsim.Event{Kind: netsim.EventOutage, Start: oStart, End: oEnd})
+	eng := &probe.Engine{Observers: probe.StandardObservers(4), QuarterSeed: 5}
+	perObs, err := eng.Collect(b, jan6, jan6+7*netsim.SecondsPerDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intervals, err := FromRecords(reconstruct.Merge(perObs), 0, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, iv := range intervals {
+		if iv.End == 0 {
+			continue
+		}
+		// The detected interval should bracket the true outage within a
+		// few probing rounds.
+		if iv.Start > oStart-3600 && iv.Start < oStart+4*3600 &&
+			iv.End > oEnd-4*3600 && iv.End < oEnd+4*3600 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("true outage [%d,%d) not found in %+v", oStart, oEnd, intervals)
+	}
+}
+
+func TestFromRecordsNoFalseOutageOnHoliday(t *testing.T) {
+	// A holiday silences the workers but the always-on addresses keep
+	// answering: no multi-day outage should be detected.
+	b, err := netsim.NewBlock(2, 78, netsim.Spec{Workers: 60, AlwaysOn: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := jan6 + 7*netsim.SecondsPerDay
+	b.AddEvent(netsim.Event{Kind: netsim.EventHoliday, Start: h, End: h + 5*netsim.SecondsPerDay, Adoption: 0.95})
+	eng := &probe.Engine{Observers: probe.StandardObservers(4), QuarterSeed: 6}
+	perObs, err := eng.Collect(b, jan6, jan6+14*netsim.SecondsPerDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intervals, err := FromRecords(reconstruct.Merge(perObs), 0, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, iv := range intervals {
+		end := iv.End
+		if end == 0 {
+			end = jan6 + 14*netsim.SecondsPerDay
+		}
+		if end-iv.Start >= 24*3600 {
+			t.Fatalf("holiday misdetected as a %d-hour outage", (end-iv.Start)/3600)
+		}
+	}
+}
+
+func TestFromRecordsEdgeCases(t *testing.T) {
+	if ivs, err := FromRecords(nil, 0, Params{}); err != nil || ivs != nil {
+		t.Fatal("empty stream should be a no-op")
+	}
+	// All-negative stream: availability estimate 0 -> nothing to detect.
+	recs := []probe.Record{{T: 1}, {T: 2}, {T: 3}}
+	if ivs, err := FromRecords(recs, 0, Params{}); err != nil || ivs != nil {
+		t.Fatalf("never-responsive block should yield nothing, got %v %v", ivs, err)
+	}
+}
+
+func TestMaskChanges(t *testing.T) {
+	outages := []Interval{{Start: 1000, End: 2000}}
+	times := []int64{500, 950, 1500, 2049, 2200}
+	masked := MaskChanges(times, outages, 100)
+	want := []bool{false, true, true, true, false}
+	for i := range want {
+		if masked[i] != want[i] {
+			t.Fatalf("mask[%d] = %v, want %v", i, masked[i], want[i])
+		}
+	}
+	open := []Interval{{Start: 5000}}
+	m2 := MaskChanges([]int64{4000, 6000}, open, 100)
+	if m2[0] || !m2[1] {
+		t.Fatalf("open-interval masking wrong: %v", m2)
+	}
+}
+
+func TestBeliefBounded(t *testing.T) {
+	d, err := NewDetector(0.7, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		d.Observe(int64(i), i%5 == 0)
+		if b := d.Belief(); b < 0.009 || b > 0.991 {
+			t.Fatalf("belief %v escaped its caps", b)
+		}
+	}
+}

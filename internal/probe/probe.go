@@ -1,0 +1,284 @@
+// Package probe implements a Trinocular-style active prober over the
+// synthetic Internet of internal/netsim, reproducing the measurement
+// substrate of the paper's §2.2: each observer probes a block's
+// ever-active target list E(b) every 11 minutes in a pseudorandom order
+// that is fixed per quarter and shared by all observers, stops after the
+// first positive response (probing 1..16 targets per round), and runs
+// unsynchronized with the other observers. It also implements the
+// "additional observations" prober of §2.8 (up to four extra probes per
+// round, even after a positive) and per-link congestive loss (§3.3), plus
+// the full-scan survey mode used as ground truth (§3.2).
+package probe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/diurnalnet/diurnal/internal/netsim"
+)
+
+const saltLoss uint64 = 0x10c1
+
+// DefaultMaxPerRound is Trinocular's per-round probe budget.
+const DefaultMaxPerRound = 16
+
+// LossModel describes congestive loss on an observer's upstream link. A
+// probe (or its response) crossing the link is dropped independently with
+// probability Base plus a diurnal component that peaks during the link's
+// local evening busy hours — the pathology §3.3 diagnoses for observer w.
+type LossModel struct {
+	// Base is the time-independent loss probability.
+	Base float64
+	// DiurnalAmp is the peak additional loss probability at the busiest
+	// local hour.
+	DiurnalAmp float64
+	// PeakSecond is the local second-of-day of peak congestion
+	// (default 20:00).
+	PeakSecond int64
+	// TZOffset is the link's local-time offset east of UTC in seconds.
+	TZOffset int64
+	// Match restricts the loss to some destinations (the paper saw loss
+	// from observer w to "about one-quarter of Chinese destinations").
+	// Nil means all destinations.
+	Match func(netsim.BlockID) bool
+}
+
+// Rate returns the loss probability for a probe to block id at time t.
+func (l *LossModel) Rate(id netsim.BlockID, t int64) float64 {
+	if l == nil {
+		return 0
+	}
+	if l.Match != nil && !l.Match(id) {
+		return 0
+	}
+	rate := l.Base
+	if l.DiurnalAmp > 0 {
+		peak := l.PeakSecond
+		if peak == 0 {
+			peak = 20 * 3600
+		}
+		sod := netsim.SecondOfDay(t + l.TZOffset)
+		// Raised cosine centered on the peak hour.
+		phase := 2 * math.Pi * float64(sod-peak) / float64(netsim.SecondsPerDay)
+		rate += l.DiurnalAmp * (1 + math.Cos(phase)) / 2
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return rate
+}
+
+// Observer is one probing site (the paper's sites c, e, g, j, n, w).
+type Observer struct {
+	// Name identifies the site ("w", "e", ...).
+	Name string
+	// Seed drives this observer's loss coin flips.
+	Seed uint64
+	// Phase is the offset of this observer's round start within the
+	// 11-minute cycle, in seconds. Observers "start independently and run
+	// unsynchronized" (§2.7).
+	Phase int64
+	// MaxPerRound caps probes per round (default 16).
+	MaxPerRound int
+	// Extra is the number of additional probes sent per round even after
+	// a positive response — zero for standard Trinocular, up to 4 for the
+	// §2.8 designed observer.
+	Extra int
+	// Loss, when non-nil, injects congestive loss on this observer's
+	// upstream link.
+	Loss *LossModel
+}
+
+// Record is a single probe observation: at time T, address Addr of the
+// probed block either responded (Up) or did not.
+type Record struct {
+	T    int64
+	Addr uint8
+	Up   bool
+}
+
+// Engine probes blocks with a set of observers over a time window.
+type Engine struct {
+	// Observers probe in parallel; at least one is required.
+	Observers []Observer
+	// QuarterSeed fixes the per-quarter pseudorandom probe order shared
+	// by all observers (§2.2).
+	QuarterSeed uint64
+}
+
+// Validate checks the engine configuration.
+func (e *Engine) Validate() error {
+	if len(e.Observers) == 0 {
+		return fmt.Errorf("probe: no observers")
+	}
+	for i, o := range e.Observers {
+		if o.MaxPerRound < 0 || o.Extra < 0 {
+			return fmt.Errorf("probe: observer %d (%s) has negative budget", i, o.Name)
+		}
+		if o.Phase < 0 || o.Phase >= netsim.RoundSeconds {
+			return fmt.Errorf("probe: observer %d (%s) phase %d outside [0,%d)", i, o.Name, o.Phase, netsim.RoundSeconds)
+		}
+	}
+	return nil
+}
+
+// Order returns the per-quarter pseudorandom probing order over the
+// block's E(b) target list. All observers share it.
+func (e *Engine) Order(b *netsim.Block) []int {
+	targets := b.EverActive()
+	rng := netsim.NewRNG(netsim.Hash64(e.QuarterSeed, uint64(b.ID)))
+	perm := rng.Perm(len(targets))
+	order := make([]int, len(targets))
+	for i, p := range perm {
+		order[i] = targets[p]
+	}
+	return order
+}
+
+// Run probes block b from start (inclusive) to end (exclusive), invoking
+// fn for every probe in global time order. obs is the observer index into
+// e.Observers. Records from one observer are strictly ordered; ties across
+// observers resolve by observer index.
+func (e *Engine) Run(b *netsim.Block, start, end int64, fn func(obs int, r Record)) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	if end <= start {
+		return fmt.Errorf("probe: empty window [%d,%d)", start, end)
+	}
+	order := e.Order(b)
+	if len(order) == 0 {
+		return nil // nothing ever responded: Trinocular drops such blocks
+	}
+	type state struct {
+		next   int64
+		cursor int
+	}
+	sts := make([]state, len(e.Observers))
+	for i, o := range e.Observers {
+		// Observers run unsynchronized (§2.7): besides the phase offset,
+		// each starts at a different point of the shared probing order, so
+		// their coverage of always-responding blocks interleaves instead
+		// of marching in lockstep.
+		sts[i] = state{
+			next:   start + o.Phase,
+			cursor: i * len(order) / len(e.Observers),
+		}
+	}
+	for {
+		// Pick the observer with the earliest next round.
+		oi := -1
+		for i := range sts {
+			if sts[i].next >= end {
+				continue
+			}
+			if oi == -1 || sts[i].next < sts[oi].next {
+				oi = i
+			}
+		}
+		if oi == -1 {
+			return nil
+		}
+		st := &sts[oi]
+		e.round(b, oi, st.next, order, &st.cursor, fn)
+		st.next += netsim.RoundSeconds
+	}
+}
+
+// round executes one probing round for one observer: probe targets in the
+// shared order until the first positive response (plus Extra additional
+// probes), up to MaxPerRound+Extra probes total.
+func (e *Engine) round(b *netsim.Block, oi int, t int64, order []int, cursor *int, fn func(obs int, r Record)) {
+	o := &e.Observers[oi]
+	budget := o.MaxPerRound
+	if budget == 0 {
+		budget = DefaultMaxPerRound
+	}
+	budget += o.Extra
+	if budget > len(order) {
+		budget = len(order)
+	}
+	sincePositive := -1
+	for k := 0; k < budget; k++ {
+		addr := order[*cursor]
+		*cursor = (*cursor + 1) % len(order)
+		up := b.Active(addr, t)
+		if up && o.Loss != nil {
+			rate := o.Loss.Rate(b.ID, t)
+			if rate > 0 && netsim.HashUnit(o.Seed, uint64(b.ID), uint64(t), uint64(addr), saltLoss) < rate {
+				up = false // the probe or its reply was lost in transit
+			}
+		}
+		fn(oi, Record{T: t, Addr: uint8(addr), Up: up})
+		if up && sincePositive < 0 {
+			sincePositive = 0
+		} else if sincePositive >= 0 {
+			sincePositive++
+		}
+		if sincePositive >= 0 && sincePositive >= o.Extra {
+			return
+		}
+	}
+}
+
+// Collect runs the engine and gathers per-observer record slices, a
+// convenience for tests and small experiments. Hot paths that process many
+// blocks should use CollectInto to reuse buffers.
+func (e *Engine) Collect(b *netsim.Block, start, end int64) ([][]Record, error) {
+	return e.CollectInto(b, start, end, nil)
+}
+
+// CollectInto is Collect with caller-provided buffers: each bufs[i] is
+// truncated and reused, avoiding per-block allocation churn in world-scale
+// runs. bufs may be nil or shorter than the observer count.
+func (e *Engine) CollectInto(b *netsim.Block, start, end int64, bufs [][]Record) ([][]Record, error) {
+	for len(bufs) < len(e.Observers) {
+		bufs = append(bufs, nil)
+	}
+	bufs = bufs[:len(e.Observers)]
+	for i := range bufs {
+		bufs[i] = bufs[i][:0]
+	}
+	err := e.Run(b, start, end, func(obs int, r Record) {
+		bufs[obs] = append(bufs[obs], r)
+	})
+	return bufs, err
+}
+
+// Survey performs full scans: every address of E(b) is probed every round,
+// with no loss and no adaptivity. This reproduces the USC Internet survey
+// datasets (it89) the paper uses as reconstruction ground truth (§3.2).
+func Survey(b *netsim.Block, start, end int64, fn func(r Record)) {
+	targets := b.EverActive()
+	for t := start; t < end; t += netsim.RoundSeconds {
+		for _, addr := range targets {
+			fn(Record{T: t, Addr: uint8(addr), Up: b.Active(addr, t)})
+		}
+	}
+}
+
+// StandardObservers returns n unsynchronized standard observers named
+// after the paper's sites (w, e, j, n, c, g), with deterministic phases
+// spread across the round.
+func StandardObservers(n int) []Observer {
+	names := []string{"w", "e", "j", "n", "c", "g"}
+	if n > len(names) {
+		n = len(names)
+	}
+	obs := make([]Observer, n)
+	for i := 0; i < n; i++ {
+		obs[i] = Observer{
+			Name:  names[i],
+			Seed:  netsim.Hash64(uint64(i) + 101),
+			Phase: int64(i) * netsim.RoundSeconds / int64(len(names)),
+		}
+	}
+	return obs
+}
+
+// SortRecords orders records by time (stable on equal times), used when
+// tests assemble multi-observer streams by hand.
+func SortRecords(rs []Record) {
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].T < rs[j].T })
+}

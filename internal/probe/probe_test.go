@@ -1,0 +1,379 @@
+package probe
+
+import (
+	"testing"
+	"time"
+
+	"github.com/diurnalnet/diurnal/internal/netsim"
+)
+
+var jan6 = netsim.Date(2020, time.January, 6)
+
+func newBlock(t *testing.T, spec netsim.Spec) *netsim.Block {
+	t.Helper()
+	b, err := netsim.NewBlock(42, 1234, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&Engine{}).Validate(); err == nil {
+		t.Error("expected error with no observers")
+	}
+	e := &Engine{Observers: []Observer{{Name: "x", Phase: -1}}}
+	if err := e.Validate(); err == nil {
+		t.Error("expected error for negative phase")
+	}
+	e = &Engine{Observers: []Observer{{Name: "x", Phase: netsim.RoundSeconds}}}
+	if err := e.Validate(); err == nil {
+		t.Error("expected error for phase >= round")
+	}
+	e = &Engine{Observers: []Observer{{Name: "x", MaxPerRound: -1}}}
+	if err := e.Validate(); err == nil {
+		t.Error("expected error for negative budget")
+	}
+}
+
+func TestRunEmptyWindowAndEmptyBlock(t *testing.T) {
+	e := &Engine{Observers: StandardObservers(1)}
+	b := newBlock(t, netsim.Spec{Workers: 10})
+	if err := e.Run(b, jan6, jan6, func(int, Record) {}); err == nil {
+		t.Error("expected error for empty window")
+	}
+	empty := newBlock(t, netsim.Spec{})
+	called := false
+	if err := e.Run(empty, jan6, jan6+3600, func(int, Record) { called = true }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("block with empty E(b) should produce no probes")
+	}
+}
+
+func TestOrderSharedAcrossObserversAndStablePerQuarter(t *testing.T) {
+	b := newBlock(t, netsim.Spec{Workers: 30, AlwaysOn: 5})
+	e1 := &Engine{Observers: StandardObservers(4), QuarterSeed: 7}
+	e2 := &Engine{Observers: StandardObservers(1), QuarterSeed: 7}
+	o1, o2 := e1.Order(b), e2.Order(b)
+	if len(o1) != 35 {
+		t.Fatalf("order length %d, want 35", len(o1))
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatal("order must depend only on quarter seed and block")
+		}
+	}
+	e3 := &Engine{Observers: StandardObservers(1), QuarterSeed: 8}
+	diff := false
+	for i, v := range e3.Order(b) {
+		if v != o1[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different quarters should reshuffle the order")
+	}
+}
+
+func TestStopOnFirstPositive(t *testing.T) {
+	// In an all-always-on block every round's first probe is positive, so
+	// a standard observer sends exactly one probe per round.
+	b := newBlock(t, netsim.Spec{AlwaysOn: 256})
+	e := &Engine{Observers: []Observer{{Name: "w"}}}
+	recs, err := e.Collect(b, jan6, jan6+10*netsim.RoundSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs[0]) != 10 {
+		t.Fatalf("got %d probes over 10 rounds, want 10", len(recs[0]))
+	}
+	for _, r := range recs[0] {
+		if !r.Up {
+			t.Fatal("always-on probe reported down")
+		}
+	}
+}
+
+func TestBudgetExhaustedOnDeadBlock(t *testing.T) {
+	// A block whose E(b) addresses are all currently inactive gets the
+	// full 16-probe budget every round.
+	b := newBlock(t, netsim.Spec{Workers: 100})
+	midnight := jan6 + 2*3600 // workers asleep
+	e := &Engine{Observers: []Observer{{Name: "w"}}}
+	var count int
+	err := e.Run(b, midnight, midnight+netsim.RoundSeconds, func(_ int, r Record) {
+		count++
+		if r.Up {
+			t.Fatal("no one should be active at 2am in a worker block")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != DefaultMaxPerRound {
+		t.Fatalf("probes = %d, want %d", count, DefaultMaxPerRound)
+	}
+}
+
+func TestExtraProbesContinuePastPositive(t *testing.T) {
+	b := newBlock(t, netsim.Spec{AlwaysOn: 256})
+	e := &Engine{Observers: []Observer{{Name: "x", Extra: 4}}}
+	recs, err := e.Collect(b, jan6, jan6+netsim.RoundSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs[0]) != 5 { // first positive + 4 extra
+		t.Fatalf("probes with Extra=4 on always-up block = %d, want 5", len(recs[0]))
+	}
+}
+
+func TestCursorAdvancesAcrossRounds(t *testing.T) {
+	// With stop-on-first-positive in an always-up block of 4 addresses,
+	// successive rounds probe successive addresses in the fixed order.
+	b, err := netsim.NewBlock(9, 5, netsim.Spec{AlwaysOn: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Observers: []Observer{{Name: "w"}}}
+	order := e.Order(b)
+	recs, err := e.Collect(b, jan6, jan6+8*netsim.RoundSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recs[0] {
+		if int(r.Addr) != order[i%4] {
+			t.Fatalf("round %d probed %d, want %d (cursor must persist)", i, r.Addr, order[i%4])
+		}
+	}
+}
+
+func TestMultiObserverInterleavingOrdered(t *testing.T) {
+	b := newBlock(t, netsim.Spec{Workers: 50, AlwaysOn: 5})
+	e := &Engine{Observers: StandardObservers(4), QuarterSeed: 3}
+	var last int64
+	seen := map[int]int{}
+	err := e.Run(b, jan6, jan6+2*3600, func(obs int, r Record) {
+		if r.T < last {
+			t.Fatalf("records out of order: %d after %d", r.T, last)
+		}
+		last = r.T
+		seen[obs]++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if seen[i] == 0 {
+			t.Fatalf("observer %d produced no records", i)
+		}
+	}
+}
+
+func TestObserverPhasesDiffer(t *testing.T) {
+	obs := StandardObservers(4)
+	phases := map[int64]bool{}
+	for _, o := range obs {
+		if phases[o.Phase] {
+			t.Fatalf("duplicate phase %d", o.Phase)
+		}
+		phases[o.Phase] = true
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	b := newBlock(t, netsim.Spec{Workers: 60, AlwaysOn: 6})
+	e := &Engine{Observers: StandardObservers(3), QuarterSeed: 11}
+	r1, err := e.Collect(b, jan6, jan6+6*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := e.Collect(b, jan6, jan6+6*3600)
+	for oi := range r1 {
+		if len(r1[oi]) != len(r2[oi]) {
+			t.Fatalf("observer %d: %d vs %d records", oi, len(r1[oi]), len(r2[oi]))
+		}
+		for i := range r1[oi] {
+			if r1[oi][i] != r2[oi][i] {
+				t.Fatalf("observer %d record %d differs", oi, i)
+			}
+		}
+	}
+}
+
+func TestLossModelRate(t *testing.T) {
+	var nilModel *LossModel
+	if nilModel.Rate(1, jan6) != 0 {
+		t.Error("nil model should have zero loss")
+	}
+	l := &LossModel{Base: 0.1}
+	if got := l.Rate(1, jan6); got != 0.1 {
+		t.Errorf("base rate = %g", got)
+	}
+	l = &LossModel{Base: 0.05, DiurnalAmp: 0.2}
+	peak := l.Rate(1, jan6+20*3600)
+	trough := l.Rate(1, jan6+8*3600)
+	if peak < 0.2 || peak > 0.25 {
+		t.Errorf("peak rate = %g, want ~0.25", peak)
+	}
+	if trough > 0.1 {
+		t.Errorf("8am rate = %g, want near base", trough)
+	}
+	l = &LossModel{Base: 2}
+	if got := l.Rate(1, jan6); got != 1 {
+		t.Errorf("rate should clamp to 1, got %g", got)
+	}
+	l = &LossModel{Base: 0.5, Match: func(id netsim.BlockID) bool { return id == 7 }}
+	if l.Rate(8, jan6) != 0 {
+		t.Error("non-matching block should see no loss")
+	}
+	if l.Rate(7, jan6) != 0.5 {
+		t.Error("matching block should see loss")
+	}
+}
+
+func TestLossReducesObservedReplyRate(t *testing.T) {
+	b := newBlock(t, netsim.Spec{AlwaysOn: 200})
+	clean := Observer{Name: "e", Seed: 1}
+	lossy := Observer{Name: "w", Seed: 2, Loss: &LossModel{Base: 0.3}}
+	e := &Engine{Observers: []Observer{clean, lossy}, QuarterSeed: 5}
+	// Extra probes so we sample many addresses per round.
+	e.Observers[0].Extra = 4
+	e.Observers[1].Extra = 4
+	recs, err := e.Collect(b, jan6, jan6+24*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := func(rs []Record) float64 {
+		up := 0
+		for _, r := range rs {
+			if r.Up {
+				up++
+			}
+		}
+		return float64(up) / float64(len(rs))
+	}
+	cleanRate, lossyRate := rate(recs[0]), rate(recs[1])
+	if cleanRate < 0.99 {
+		t.Errorf("clean observer rate = %g, want ~1", cleanRate)
+	}
+	if lossyRate > 0.8 || lossyRate < 0.6 {
+		t.Errorf("lossy observer rate = %g, want ~0.7", lossyRate)
+	}
+}
+
+func TestSurveyCoversAllTargetsEveryRound(t *testing.T) {
+	b := newBlock(t, netsim.Spec{Workers: 20, AlwaysOn: 3})
+	counts := map[int64]int{}
+	Survey(b, jan6, jan6+3*netsim.RoundSeconds, func(r Record) {
+		counts[r.T]++
+	})
+	if len(counts) != 3 {
+		t.Fatalf("rounds = %d, want 3", len(counts))
+	}
+	for tm, c := range counts {
+		if c != 23 {
+			t.Fatalf("round %d probed %d targets, want 23", tm, c)
+		}
+	}
+}
+
+func TestSurveyMatchesGroundTruthCounts(t *testing.T) {
+	b := newBlock(t, netsim.Spec{Workers: 40, AlwaysOn: 5})
+	tm := jan6 + 12*3600
+	up := 0
+	Survey(b, tm, tm+netsim.RoundSeconds, func(r Record) {
+		if r.Up {
+			up++
+		}
+	})
+	if truth := b.CountActive(tm); up != truth {
+		t.Fatalf("survey found %d active, truth %d", up, truth)
+	}
+}
+
+func TestStandardObserversNames(t *testing.T) {
+	obs := StandardObservers(6)
+	if len(obs) != 6 || obs[0].Name != "w" || obs[5].Name != "g" {
+		t.Fatalf("unexpected observers: %+v", obs)
+	}
+	if got := StandardObservers(10); len(got) != 6 {
+		t.Fatalf("should clamp to 6 observers, got %d", len(got))
+	}
+}
+
+func TestSortRecords(t *testing.T) {
+	rs := []Record{{T: 3}, {T: 1}, {T: 2}}
+	SortRecords(rs)
+	if rs[0].T != 1 || rs[2].T != 3 {
+		t.Fatalf("sorted: %+v", rs)
+	}
+}
+
+func BenchmarkProbeBlockDay4Observers(b *testing.B) {
+	blk, err := netsim.NewBlock(3, 77, netsim.Spec{Workers: 80, AlwaysOn: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := &Engine{Observers: StandardObservers(4), QuarterSeed: 1}
+	sink := func(int, Record) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(blk, jan6, jan6+netsim.SecondsPerDay, sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCollectIntoReusesBuffers(t *testing.T) {
+	b := newBlock(t, netsim.Spec{Workers: 40, AlwaysOn: 5})
+	e := &Engine{Observers: StandardObservers(2), QuarterSeed: 9}
+	bufs, err := e.CollectInto(b, jan6, jan6+6*3600, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bufs) != 2 {
+		t.Fatalf("bufs = %d", len(bufs))
+	}
+	firstCap := cap(bufs[0])
+	firstLen := len(bufs[0])
+	// Second call with the same window must reuse the same backing arrays.
+	bufs2, err := e.CollectInto(b, jan6, jan6+6*3600, bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(bufs2[0]) != firstCap {
+		t.Fatalf("buffer reallocated: cap %d -> %d", firstCap, cap(bufs2[0]))
+	}
+	if len(bufs2[0]) != firstLen {
+		t.Fatalf("deterministic rerun changed record count: %d -> %d", firstLen, len(bufs2[0]))
+	}
+	// Contents must match a fresh Collect.
+	fresh, err := e.Collect(b, jan6, jan6+6*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for oi := range fresh {
+		for i := range fresh[oi] {
+			if fresh[oi][i] != bufs2[oi][i] {
+				t.Fatalf("reused buffer diverges at obs %d rec %d", oi, i)
+			}
+		}
+	}
+}
+
+func TestCollectIntoShortBufSlice(t *testing.T) {
+	b := newBlock(t, netsim.Spec{AlwaysOn: 10})
+	e := &Engine{Observers: StandardObservers(3), QuarterSeed: 9}
+	bufs := make([][]Record, 1) // shorter than observer count
+	got, err := e.CollectInto(b, jan6, jan6+3600, bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("bufs not extended: %d", len(got))
+	}
+}

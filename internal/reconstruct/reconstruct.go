@@ -1,0 +1,366 @@
+// Package reconstruct turns incremental probe observations into estimates
+// of how many addresses in a /24 block are active over time (paper §2.3):
+// each address keeps its last observed state until re-probed, and the
+// estimate becomes valid once every ever-active address E(b) has been
+// observed at least once. The package also implements 1-loss repair
+// (§2.3, §3.3), multi-observer merging (§2.7), full-block-scan timing
+// (§3.1), and reply-rate accounting (Figure 6).
+package reconstruct
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"github.com/diurnalnet/diurnal/internal/probe"
+)
+
+// Repair1Loss applies the paper's 1-loss repair to a single observer's
+// record stream, in place: for each address, the observation pattern
+// responsive → non-responsive → responsive (101) is rewritten to 111,
+// because a lone non-response sandwiched between responses is more likely
+// a lost query than a briefly unused address. Patterns 001, 110 and others
+// are left untouched. Records must be in time order (as produced by the
+// prober).
+func Repair1Loss(records []probe.Record) {
+	// prev2/prev1 hold indices of the last two observations per address,
+	// -1 when unseen.
+	var prev1, prev2 [256]int
+	for i := range prev1 {
+		prev1[i] = -1
+		prev2[i] = -1
+	}
+	for i, r := range records {
+		a := int(r.Addr)
+		if p2, p1 := prev2[a], prev1[a]; p2 >= 0 && p1 >= 0 {
+			if records[p2].Up && !records[p1].Up && r.Up {
+				records[p1].Up = true
+			}
+		}
+		prev2[a] = prev1[a]
+		prev1[a] = i
+	}
+}
+
+// recHeap implements a k-way merge over per-observer sorted record slices.
+type recHeap struct {
+	heads   []int
+	streams [][]probe.Record
+	order   []int // heap of stream indices
+}
+
+func (h *recHeap) Len() int { return len(h.order) }
+func (h *recHeap) Less(i, j int) bool {
+	a, b := h.order[i], h.order[j]
+	ra := h.streams[a][h.heads[a]]
+	rb := h.streams[b][h.heads[b]]
+	if ra.T != rb.T {
+		return ra.T < rb.T
+	}
+	return a < b
+}
+func (h *recHeap) Swap(i, j int)      { h.order[i], h.order[j] = h.order[j], h.order[i] }
+func (h *recHeap) Push(x interface{}) { h.order = append(h.order, x.(int)) }
+func (h *recHeap) Pop() interface{} {
+	old := h.order
+	n := len(old)
+	x := old[n-1]
+	h.order = old[:n-1]
+	return x
+}
+
+// Merge interleaves per-observer record streams into one time-ordered
+// stream. Each input stream must itself be time-ordered; ties across
+// streams resolve by stream index.
+func Merge(perObserver [][]probe.Record) []probe.Record {
+	return MergeInto(nil, perObserver)
+}
+
+// MergeInto is Merge reusing dst's capacity.
+func MergeInto(dst []probe.Record, perObserver [][]probe.Record) []probe.Record {
+	total := 0
+	for _, s := range perObserver {
+		total += len(s)
+	}
+	h := &recHeap{heads: make([]int, len(perObserver)), streams: perObserver}
+	for i, s := range perObserver {
+		if len(s) > 0 {
+			h.order = append(h.order, i)
+		}
+	}
+	heap.Init(h)
+	out := dst[:0]
+	if cap(out) < total {
+		out = make([]probe.Record, 0, total)
+	}
+	for h.Len() > 0 {
+		i := h.order[0]
+		out = append(out, h.streams[i][h.heads[i]])
+		h.heads[i]++
+		if h.heads[i] >= len(h.streams[i]) {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	return out
+}
+
+// Series is a reconstructed active-address count over time: one point per
+// probing timestamp once the reconstruction is complete.
+type Series struct {
+	Times  []int64
+	Counts []float64
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Times) }
+
+// Reconstruct runs the address-state accumulator over a merged,
+// time-ordered record stream. eb is the block's ever-active target list
+// E(b); output points begin once every address in eb has been observed at
+// least once ("complete reconstruction", §2.3). It returns an error when
+// eb is empty.
+func Reconstruct(merged []probe.Record, eb []int) (*Series, error) {
+	if len(eb) == 0 {
+		return nil, fmt.Errorf("reconstruct: empty target list")
+	}
+	inEB := make(map[int]bool, len(eb))
+	for _, a := range eb {
+		inEB[a] = true
+	}
+	var state [256]int8 // -1 unknown, 0 down, 1 up
+	for i := range state {
+		state[i] = -1
+	}
+	seen, up := 0, 0
+	s := &Series{}
+	var curT int64
+	started := false
+	flush := func() {
+		if started && seen == len(inEB) {
+			s.Times = append(s.Times, curT)
+			s.Counts = append(s.Counts, float64(up))
+		}
+	}
+	for _, r := range merged {
+		a := int(r.Addr)
+		if !inEB[a] {
+			continue
+		}
+		if started && r.T != curT {
+			flush()
+		}
+		curT = r.T
+		started = true
+		old := state[a]
+		if old == -1 {
+			seen++
+		}
+		if old == 1 {
+			up--
+		}
+		if r.Up {
+			state[a] = 1
+			up++
+		} else {
+			state[a] = 0
+		}
+	}
+	flush()
+	return s, nil
+}
+
+// ReconstructObservers is the common pipeline: optionally 1-loss-repair
+// each observer's stream, merge, and reconstruct against eb.
+func ReconstructObservers(perObserver [][]probe.Record, eb []int, repair bool) (*Series, error) {
+	if repair {
+		for _, s := range perObserver {
+			Repair1Loss(s)
+		}
+	}
+	return Reconstruct(Merge(perObserver), eb)
+}
+
+// ScanTimes returns the durations of successive complete scans of eb in
+// the merged stream: the first value is the time from the first record
+// until every address has been seen once, and each subsequent value is the
+// time to see every address again. Blocks never fully covered yield nil.
+func ScanTimes(merged []probe.Record, eb []int) []int64 {
+	if len(eb) == 0 || len(merged) == 0 {
+		return nil
+	}
+	inEB := make(map[int]bool, len(eb))
+	for _, a := range eb {
+		inEB[a] = true
+	}
+	seen := make(map[int]bool, len(eb))
+	var out []int64
+	scanStart := merged[0].T
+	for _, r := range merged {
+		a := int(r.Addr)
+		if !inEB[a] {
+			continue
+		}
+		seen[a] = true
+		if len(seen) == len(inEB) {
+			out = append(out, r.T-scanStart)
+			seen = make(map[int]bool, len(eb))
+			scanStart = r.T
+		}
+	}
+	return out
+}
+
+// MeanReplyRate returns the fraction of records that were positive, the
+// quantity compared across observers in Figure 6d. It returns 0 for an
+// empty stream.
+func MeanReplyRate(records []probe.Record) float64 {
+	if len(records) == 0 {
+		return 0
+	}
+	up := 0
+	for _, r := range records {
+		if r.Up {
+			up++
+		}
+	}
+	return float64(up) / float64(len(records))
+}
+
+// Resample projects the series onto a regular grid of step seconds
+// spanning [start, end): each bin takes the mean of the points falling in
+// it, empty bins carry the previous bin's value forward, and leading empty
+// bins take the first observed value. It returns nil when the series has
+// no points or the window is empty.
+func (s *Series) Resample(start, end, step int64) []float64 {
+	if s.Len() == 0 || end <= start || step <= 0 {
+		return nil
+	}
+	n := int((end - start + step - 1) / step)
+	sums := make([]float64, n)
+	counts := make([]int, n)
+	for i, t := range s.Times {
+		if t < start || t >= end {
+			continue
+		}
+		bin := int((t - start) / step)
+		sums[bin] += s.Counts[i]
+		counts[bin]++
+	}
+	out := make([]float64, n)
+	first := -1
+	for i := 0; i < n; i++ {
+		if counts[i] > 0 {
+			out[i] = sums[i] / float64(counts[i])
+			if first == -1 {
+				first = i
+			}
+		} else if first >= 0 {
+			out[i] = out[i-1]
+		}
+	}
+	if first == -1 {
+		return nil
+	}
+	for i := 0; i < first; i++ {
+		out[i] = out[first]
+	}
+	return out
+}
+
+// DailySwings returns, for each complete UTC day covered by the series,
+// the range (max - min) of the reconstructed count — the paper's
+// midnight-to-midnight daily swing (§2.4). Days with no points are
+// omitted; the returned day indices are UTC days since the epoch.
+func (s *Series) DailySwings() (days []int64, swings []float64) {
+	if s.Len() == 0 {
+		return nil, nil
+	}
+	var curDay int64
+	var min, max float64
+	have := false
+	flush := func() {
+		if have {
+			days = append(days, curDay)
+			swings = append(swings, max-min)
+		}
+	}
+	for i, t := range s.Times {
+		d := t / 86400
+		if !have || d != curDay {
+			flush()
+			curDay = d
+			min, max = s.Counts[i], s.Counts[i]
+			have = true
+			continue
+		}
+		if s.Counts[i] < min {
+			min = s.Counts[i]
+		}
+		if s.Counts[i] > max {
+			max = s.Counts[i]
+		}
+	}
+	flush()
+	return days, swings
+}
+
+// ObserverHealth accumulates per-observer reply statistics across many
+// blocks, the §2.7 cross-check ("we analyze each observer independently
+// and compare their results against each other") that led the paper to
+// discard sites c and g in 2020 after hardware problems.
+type ObserverHealth struct {
+	up, total []int64
+}
+
+// NewObserverHealth tracks n observers.
+func NewObserverHealth(n int) *ObserverHealth {
+	return &ObserverHealth{up: make([]int64, n), total: make([]int64, n)}
+}
+
+// Add folds one block's per-observer record streams into the tallies.
+// Streams beyond the tracked observer count are ignored.
+func (h *ObserverHealth) Add(perObserver [][]probe.Record) {
+	for oi, records := range perObserver {
+		if oi >= len(h.up) {
+			break
+		}
+		for _, r := range records {
+			h.total[oi]++
+			if r.Up {
+				h.up[oi]++
+			}
+		}
+	}
+}
+
+// Rates returns each observer's aggregate reply rate (0 for observers
+// with no records).
+func (h *ObserverHealth) Rates() []float64 {
+	out := make([]float64, len(h.up))
+	for i := range out {
+		if h.total[i] > 0 {
+			out[i] = float64(h.up[i]) / float64(h.total[i])
+		}
+	}
+	return out
+}
+
+// Suspect returns the indices of observers whose reply rate sits more
+// than tol below the median of all observers — the signature of a broken
+// site or a badly congested upstream. Observers with no records are also
+// suspect.
+func (h *ObserverHealth) Suspect(tol float64) []int {
+	rates := h.Rates()
+	sorted := append([]float64(nil), rates...)
+	sort.Float64s(sorted)
+	med := sorted[len(sorted)/2]
+	var out []int
+	for i, r := range rates {
+		if h.total[i] == 0 || r < med-tol {
+			out = append(out, i)
+		}
+	}
+	return out
+}

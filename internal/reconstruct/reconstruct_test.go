@@ -1,0 +1,569 @@
+package reconstruct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/probe"
+)
+
+var jan6 = netsim.Date(2020, time.January, 6)
+
+func rec(t int64, addr int, up bool) probe.Record {
+	return probe.Record{T: t, Addr: uint8(addr), Up: up}
+}
+
+func TestReconstructFigure2Style(t *testing.T) {
+	// The paper's Figure 2 mechanics on a 4-address block: estimates
+	// appear once all addresses have been seen and update as changes are
+	// re-observed.
+	eb := []int{1, 2, 3, 4}
+	// Round times 0..5; two addresses scanned per round.
+	recs := []probe.Record{
+		rec(0, 1, false), rec(0, 2, false), // round 1: no estimate yet
+		rec(1, 3, true), rec(1, 4, true), // round 2: complete, estimate 2
+		rec(2, 1, false), rec(2, 3, true), // round 3: estimate 2
+		rec(3, 1, true), rec(3, 2, false), // round 4: .1 came up -> 3
+		rec(4, 3, false), rec(4, 4, true), // round 5: .3 went down -> 2
+		rec(5, 2, true), rec(5, 3, true), // round 6: both up -> 4
+	}
+	s, err := Reconstruct(recs, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTimes := []int64{1, 2, 3, 4, 5}
+	wantCounts := []float64{2, 2, 3, 2, 4}
+	if len(s.Times) != len(wantTimes) {
+		t.Fatalf("got %d points (%v), want %d", len(s.Times), s.Counts, len(wantTimes))
+	}
+	for i := range wantTimes {
+		if s.Times[i] != wantTimes[i] || s.Counts[i] != wantCounts[i] {
+			t.Fatalf("point %d = (%d,%g), want (%d,%g)",
+				i, s.Times[i], s.Counts[i], wantTimes[i], wantCounts[i])
+		}
+	}
+}
+
+func TestReconstructIgnoresNonEBAddresses(t *testing.T) {
+	eb := []int{1}
+	recs := []probe.Record{
+		rec(0, 9, true), // not in E(b): ignored
+		rec(1, 1, true),
+	}
+	s, err := Reconstruct(recs, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 || s.Counts[0] != 1 {
+		t.Fatalf("series = %+v", s)
+	}
+}
+
+func TestReconstructEmptyEB(t *testing.T) {
+	if _, err := Reconstruct(nil, nil); err == nil {
+		t.Fatal("expected error for empty E(b)")
+	}
+}
+
+func TestReconstructNeverComplete(t *testing.T) {
+	eb := []int{1, 2}
+	recs := []probe.Record{rec(0, 1, true), rec(1, 1, true)}
+	s, err := Reconstruct(recs, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("incomplete reconstruction emitted points: %+v", s)
+	}
+}
+
+func TestRepair1LossFixesSandwichedLoss(t *testing.T) {
+	recs := []probe.Record{
+		rec(0, 5, true),
+		rec(1, 5, false), // lost query
+		rec(2, 5, true),
+	}
+	Repair1Loss(recs)
+	if !recs[1].Up {
+		t.Fatal("101 pattern not repaired to 111")
+	}
+}
+
+func TestRepair1LossLeavesOtherPatterns(t *testing.T) {
+	cases := [][]bool{
+		{false, false, true}, // 001
+		{true, true, false},  // 110
+		{true, false, false}, // 100
+		{false, true, false}, // 010: middle is genuine single response
+	}
+	for _, pattern := range cases {
+		recs := make([]probe.Record, len(pattern))
+		for i, up := range pattern {
+			recs[i] = rec(int64(i), 7, up)
+		}
+		before := make([]bool, len(recs))
+		for i := range recs {
+			before[i] = recs[i].Up
+		}
+		Repair1Loss(recs)
+		for i := range recs {
+			if recs[i].Up != before[i] {
+				t.Fatalf("pattern %v modified at %d", pattern, i)
+			}
+		}
+	}
+}
+
+func TestRepair1LossPerAddressIndependence(t *testing.T) {
+	// Interleaved addresses must be repaired along their own timelines.
+	recs := []probe.Record{
+		rec(0, 1, true),
+		rec(1, 2, false),
+		rec(2, 1, false), // sandwiched for addr 1
+		rec(3, 2, false),
+		rec(4, 1, true),
+		rec(5, 2, true),
+	}
+	Repair1Loss(recs)
+	if !recs[2].Up {
+		t.Fatal("addr 1's 101 not repaired")
+	}
+	if recs[1].Up || recs[3].Up {
+		t.Fatal("addr 2's genuine downs must remain")
+	}
+}
+
+func TestRepair1LossDoubleLossNotRepaired(t *testing.T) {
+	// 1001: back-to-back losses are (by design) not repaired; the
+	// probability of two consecutive losses is p^2 (§2.3).
+	recs := []probe.Record{
+		rec(0, 3, true), rec(1, 3, false), rec(2, 3, false), rec(3, 3, true),
+	}
+	Repair1Loss(recs)
+	if recs[1].Up || recs[2].Up {
+		t.Fatal("1001 must not be repaired")
+	}
+}
+
+func TestMergeOrdersAcrossObservers(t *testing.T) {
+	a := []probe.Record{rec(0, 1, true), rec(10, 1, true)}
+	b := []probe.Record{rec(5, 2, true), rec(15, 2, true)}
+	m := Merge([][]probe.Record{a, b})
+	want := []int64{0, 5, 10, 15}
+	for i, r := range m {
+		if r.T != want[i] {
+			t.Fatalf("merged[%d].T = %d, want %d", i, r.T, want[i])
+		}
+	}
+}
+
+func TestMergeTieBreaksByObserver(t *testing.T) {
+	a := []probe.Record{rec(5, 1, true)}
+	b := []probe.Record{rec(5, 2, true)}
+	m := Merge([][]probe.Record{a, b})
+	if m[0].Addr != 1 || m[1].Addr != 2 {
+		t.Fatalf("tie-break wrong: %+v", m)
+	}
+}
+
+func TestMergeEmptyStreams(t *testing.T) {
+	if got := Merge(nil); len(got) != 0 {
+		t.Fatal("merge of nothing should be empty")
+	}
+	if got := Merge([][]probe.Record{nil, {rec(1, 1, true)}, nil}); len(got) != 1 {
+		t.Fatalf("merge = %+v", got)
+	}
+}
+
+func TestScanTimes(t *testing.T) {
+	eb := []int{1, 2}
+	recs := []probe.Record{
+		rec(0, 1, true),
+		rec(10, 2, true), // first full scan: 10s
+		rec(20, 1, true),
+		rec(25, 2, false), // second: 25-10=15s
+	}
+	got := ScanTimes(recs, eb)
+	if len(got) != 2 || got[0] != 10 || got[1] != 15 {
+		t.Fatalf("ScanTimes = %v", got)
+	}
+	if ScanTimes(nil, eb) != nil {
+		t.Fatal("no records should yield nil")
+	}
+	if ScanTimes(recs, nil) != nil {
+		t.Fatal("empty eb should yield nil")
+	}
+}
+
+func TestMeanReplyRate(t *testing.T) {
+	recs := []probe.Record{rec(0, 1, true), rec(1, 1, false), rec(2, 1, true), rec(3, 1, true)}
+	if got := MeanReplyRate(recs); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("rate = %g", got)
+	}
+	if MeanReplyRate(nil) != 0 {
+		t.Fatal("empty rate should be 0")
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := &Series{
+		Times:  []int64{0, 5, 10, 35},
+		Counts: []float64{2, 4, 6, 8},
+	}
+	// Bins of 10s over [0, 40): bin0 has 2,4 -> 3; bin1 has 6; bin2 empty
+	// -> carries 6; bin3 has 8.
+	got := s.Resample(0, 40, 10)
+	want := []float64{3, 6, 6, 8}
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("bin %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestResampleLeadingGapBackfills(t *testing.T) {
+	s := &Series{Times: []int64{25}, Counts: []float64{7}}
+	got := s.Resample(0, 30, 10)
+	for i, v := range got {
+		if v != 7 {
+			t.Fatalf("bin %d = %g, want backfilled 7", i, v)
+		}
+	}
+}
+
+func TestResampleEdgeCases(t *testing.T) {
+	empty := &Series{}
+	if empty.Resample(0, 10, 1) != nil {
+		t.Fatal("empty series should resample to nil")
+	}
+	s := &Series{Times: []int64{5}, Counts: []float64{1}}
+	if s.Resample(10, 10, 1) != nil {
+		t.Fatal("empty window should be nil")
+	}
+	if s.Resample(0, 10, 0) != nil {
+		t.Fatal("zero step should be nil")
+	}
+	if s.Resample(100, 200, 10) != nil {
+		t.Fatal("window with no points should be nil")
+	}
+}
+
+func TestDailySwings(t *testing.T) {
+	day := int64(86400)
+	s := &Series{
+		Times:  []int64{0, 1000, 2000, day, day + 1000},
+		Counts: []float64{2, 10, 4, 5, 5},
+	}
+	days, swings := s.DailySwings()
+	if len(days) != 2 {
+		t.Fatalf("days = %v", days)
+	}
+	if swings[0] != 8 || swings[1] != 0 {
+		t.Fatalf("swings = %v, want [8 0]", swings)
+	}
+	if d, sw := (&Series{}).DailySwings(); d != nil || sw != nil {
+		t.Fatal("empty series should yield nil swings")
+	}
+}
+
+// TestEndToEndReconstructionAccuracy drives the full probe->reconstruct
+// path against ground truth, mirroring the paper's §3.2 validation: a
+// 4-observer reconstruction of a diurnal block should correlate strongly
+// with the true active counts.
+func TestEndToEndReconstructionAccuracy(t *testing.T) {
+	blk, err := netsim.NewBlock(100, 555, netsim.Spec{Workers: 60, AlwaysOn: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &probe.Engine{Observers: probe.StandardObservers(4), QuarterSeed: 9}
+	start, end := jan6, jan6+14*netsim.SecondsPerDay
+	perObs, err := eng.Collect(blk, start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := ReconstructObservers(perObs, blk.EverActive(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.Len() == 0 {
+		t.Fatal("no reconstruction points")
+	}
+	est := series.Resample(start, end, 3600)
+	truth := make([]float64, len(est))
+	for i := range truth {
+		truth[i] = float64(blk.CountActive(start + int64(i)*3600 + 1800))
+	}
+	r := pearson(t, est, truth)
+	if r < 0.8 {
+		t.Fatalf("reconstruction correlation %g < 0.8", r)
+	}
+}
+
+// TestMoreObserversScanFaster verifies §3.1: combining observers shortens
+// full-block-scan time.
+func TestMoreObserversScanFaster(t *testing.T) {
+	blk, err := netsim.NewBlock(101, 556, netsim.Spec{AlwaysOn: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	median := func(n int) int64 {
+		eng := &probe.Engine{Observers: probe.StandardObservers(n), QuarterSeed: 4}
+		perObs, err := eng.Collect(blk, jan6, jan6+4*netsim.SecondsPerDay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times := ScanTimes(Merge(perObs), blk.EverActive())
+		if len(times) == 0 {
+			t.Fatal("block never fully scanned")
+		}
+		vals := make([]int64, len(times))
+		copy(vals, times)
+		// crude median
+		for i := 0; i < len(vals); i++ {
+			for j := i + 1; j < len(vals); j++ {
+				if vals[j] < vals[i] {
+					vals[i], vals[j] = vals[j], vals[i]
+				}
+			}
+		}
+		return vals[len(vals)/2]
+	}
+	one, four := median(1), median(4)
+	if four >= one {
+		t.Fatalf("4-observer median scan %ds not faster than 1-observer %ds", four, one)
+	}
+}
+
+// TestLossRepairRestoresReplyRate reproduces Figure 6's mechanism: a lossy
+// observer depresses the merged reply rate, and 1-loss repair restores
+// most of it while barely changing clean observers.
+func TestLossRepairRestoresReplyRate(t *testing.T) {
+	blk, err := netsim.NewBlock(102, 557, netsim.Spec{AlwaysOn: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := probe.StandardObservers(4)
+	for i := range obs {
+		obs[i].Extra = 4 // sample beyond the first positive
+	}
+	obs[0].Loss = &probe.LossModel{Base: 0.15}
+	eng := &probe.Engine{Observers: obs, QuarterSeed: 12}
+	perObs, err := eng.Collect(blk, jan6, jan6+2*netsim.SecondsPerDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossyBefore := MeanReplyRate(perObs[0])
+	cleanBefore := MeanReplyRate(perObs[1])
+	if cleanBefore < 0.99 {
+		t.Fatalf("clean observer rate %g, want ~1", cleanBefore)
+	}
+	if lossyBefore > 0.92 {
+		t.Fatalf("lossy observer rate %g, want visibly depressed", lossyBefore)
+	}
+	for i := range perObs {
+		Repair1Loss(perObs[i])
+	}
+	lossyAfter := MeanReplyRate(perObs[0])
+	cleanAfter := MeanReplyRate(perObs[1])
+	if lossyAfter <= lossyBefore+0.05 {
+		t.Fatalf("repair raised lossy rate only %g -> %g", lossyBefore, lossyAfter)
+	}
+	if math.Abs(cleanAfter-cleanBefore) > 0.01 {
+		t.Fatalf("repair changed clean observer %g -> %g", cleanBefore, cleanAfter)
+	}
+}
+
+func pearson(t *testing.T, a, b []float64) float64 {
+	t.Helper()
+	if len(a) != len(b) || len(a) < 2 {
+		t.Fatalf("bad pearson inputs %d %d", len(a), len(b))
+	}
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= float64(len(a))
+	mb /= float64(len(b))
+	var sab, saa, sbb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		sab += da * db
+		saa += da * da
+		sbb += db * db
+	}
+	if saa == 0 || sbb == 0 {
+		return 0
+	}
+	return sab / math.Sqrt(saa*sbb)
+}
+
+func BenchmarkReconstructTwoWeeks4Obs(b *testing.B) {
+	blk, err := netsim.NewBlock(103, 558, netsim.Spec{Workers: 80, AlwaysOn: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := &probe.Engine{Observers: probe.StandardObservers(4), QuarterSeed: 2}
+	perObs, err := eng.Collect(blk, jan6, jan6+14*netsim.SecondsPerDay)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eb := blk.EverActive()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reconstruct(Merge(perObs), eb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMergeIntoReusesCapacity(t *testing.T) {
+	a := []probe.Record{rec(0, 1, true), rec(10, 1, true)}
+	b := []probe.Record{rec(5, 2, true)}
+	dst := make([]probe.Record, 0, 16)
+	out := MergeInto(dst, [][]probe.Record{a, b})
+	if len(out) != 3 || cap(out) != 16 {
+		t.Fatalf("len=%d cap=%d, want 3/16", len(out), cap(out))
+	}
+	// Too-small dst grows.
+	small := make([]probe.Record, 0, 1)
+	out2 := MergeInto(small, [][]probe.Record{a, b})
+	if len(out2) != 3 {
+		t.Fatalf("len=%d", len(out2))
+	}
+	for i := range out {
+		if out[i] != out2[i] {
+			t.Fatal("MergeInto results differ between buffers")
+		}
+	}
+}
+
+func TestResampleBoundedProperty(t *testing.T) {
+	// Property: resampled values never leave the series' [min, max].
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(100)
+		s := &Series{}
+		tm := int64(rng.Intn(1000))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			tm += int64(1 + rng.Intn(900))
+			v := float64(rng.Intn(200))
+			s.Times = append(s.Times, tm)
+			s.Counts = append(s.Counts, v)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		out := s.Resample(s.Times[0], s.Times[n-1]+1, 300)
+		for _, v := range out {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDailySwingsNonNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := &Series{}
+		tm := int64(rng.Intn(86400 * 3))
+		for i := 0; i < 50; i++ {
+			tm += int64(1 + rng.Intn(20000))
+			s.Times = append(s.Times, tm)
+			s.Counts = append(s.Counts, float64(rng.Intn(100)))
+		}
+		days, swings := s.DailySwings()
+		if len(days) != len(swings) {
+			return false
+		}
+		prev := int64(-1 << 62)
+		for i, d := range days {
+			if swings[i] < 0 || d <= prev {
+				return false
+			}
+			prev = d
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObserverHealthFlagsBrokenSite(t *testing.T) {
+	// Three healthy observers and one behind a broken link: the health
+	// check must flag exactly the broken one (the paper's §2.7 procedure
+	// that discarded sites c and g in 2020).
+	obs := probe.StandardObservers(4)
+	for i := range obs {
+		obs[i].Extra = 2
+	}
+	obs[2].Loss = &probe.LossModel{Base: 0.4} // the "hardware problem"
+	eng := &probe.Engine{Observers: obs, QuarterSeed: 8}
+	health := NewObserverHealth(4)
+	for i := 0; i < 10; i++ {
+		b, err := netsim.NewBlock(netsim.BlockID(0x700+i), uint64(900+i), netsim.Spec{
+			Workers: 40, AlwaysOn: 30,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perObs, err := eng.Collect(b, jan6, jan6+2*netsim.SecondsPerDay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		health.Add(perObs)
+	}
+	rates := health.Rates()
+	if len(rates) != 4 {
+		t.Fatalf("rates = %v", rates)
+	}
+	for i, r := range rates {
+		if i == 2 {
+			if r > rates[0]-0.1 {
+				t.Fatalf("broken observer rate %v not depressed vs %v", r, rates[0])
+			}
+			continue
+		}
+		if r < 0.5 {
+			t.Fatalf("healthy observer %d rate %v too low", i, r)
+		}
+	}
+	suspects := health.Suspect(0.1)
+	if len(suspects) != 1 || suspects[0] != 2 {
+		t.Fatalf("suspects = %v, want [2]", suspects)
+	}
+}
+
+func TestObserverHealthEdgeCases(t *testing.T) {
+	h := NewObserverHealth(2)
+	// No records at all: every observer is suspect.
+	if got := h.Suspect(0.05); len(got) != 2 {
+		t.Fatalf("no-data suspects = %v", got)
+	}
+	h.Add([][]probe.Record{
+		{rec(0, 1, true), rec(1, 1, true)},
+		{rec(0, 2, true), rec(1, 2, false)},
+		{rec(0, 3, true)}, // extra stream beyond tracked count: ignored
+	})
+	rates := h.Rates()
+	if rates[0] != 1.0 || rates[1] != 0.5 {
+		t.Fatalf("rates = %v", rates)
+	}
+	if got := h.Suspect(0.6); len(got) != 0 {
+		t.Fatalf("wide tolerance should clear everyone: %v", got)
+	}
+}

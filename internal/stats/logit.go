@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Logistic is a binary logistic-regression model trained by batch gradient
+// descent. The paper (§3.2.3) models the probability that a block's
+// full-block-scan time exceeds 6 hours with a logistic regression
+// "parameterized by scanned addresses (E(b)) and availability (A)"; this
+// type is that model.
+type Logistic struct {
+	// Weights holds one coefficient per feature; Bias is the intercept.
+	Weights []float64
+	Bias    float64
+
+	// means/scales standardize features during training and prediction so
+	// that gradient descent converges regardless of feature magnitudes.
+	means  []float64
+	scales []float64
+}
+
+// LogisticTrainOpts controls training.
+type LogisticTrainOpts struct {
+	LearningRate float64 // defaults to 0.5
+	Iterations   int     // defaults to 500
+	L2           float64 // ridge penalty, defaults to 1e-4
+}
+
+// TrainLogistic fits a logistic model to rows of features x and binary
+// labels y (true = positive class). All rows must have equal length.
+func TrainLogistic(x [][]float64, y []bool, opts LogisticTrainOpts) (*Logistic, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("stats: no training rows")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("stats: %d rows but %d labels", len(x), len(y))
+	}
+	d := len(x[0])
+	if d == 0 {
+		return nil, fmt.Errorf("stats: zero-dimensional features")
+	}
+	for i, row := range x {
+		if len(row) != d {
+			return nil, fmt.Errorf("stats: row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	if opts.LearningRate <= 0 {
+		opts.LearningRate = 0.5
+	}
+	if opts.Iterations <= 0 {
+		opts.Iterations = 500
+	}
+	if opts.L2 < 0 {
+		return nil, fmt.Errorf("stats: negative L2 penalty")
+	}
+	if opts.L2 == 0 {
+		opts.L2 = 1e-4
+	}
+
+	m := &Logistic{
+		Weights: make([]float64, d),
+		means:   make([]float64, d),
+		scales:  make([]float64, d),
+	}
+	n := float64(len(x))
+	for j := 0; j < d; j++ {
+		s := 0.0
+		for _, row := range x {
+			s += row[j]
+		}
+		m.means[j] = s / n
+		v := 0.0
+		for _, row := range x {
+			dlt := row[j] - m.means[j]
+			v += dlt * dlt
+		}
+		m.scales[j] = math.Sqrt(v / n)
+		if m.scales[j] == 0 {
+			m.scales[j] = 1
+		}
+	}
+
+	std := make([][]float64, len(x))
+	for i, row := range x {
+		sr := make([]float64, d)
+		for j := range row {
+			sr[j] = (row[j] - m.means[j]) / m.scales[j]
+		}
+		std[i] = sr
+	}
+
+	gradW := make([]float64, d)
+	for it := 0; it < opts.Iterations; it++ {
+		for j := range gradW {
+			gradW[j] = 0
+		}
+		gradB := 0.0
+		for i, row := range std {
+			p := sigmoid(dot(m.Weights, row) + m.Bias)
+			t := 0.0
+			if y[i] {
+				t = 1
+			}
+			e := p - t
+			for j := range row {
+				gradW[j] += e * row[j]
+			}
+			gradB += e
+		}
+		for j := range m.Weights {
+			m.Weights[j] -= opts.LearningRate * (gradW[j]/n + opts.L2*m.Weights[j])
+		}
+		m.Bias -= opts.LearningRate * gradB / n
+	}
+	return m, nil
+}
+
+// Prob returns the model's probability that the row belongs to the
+// positive class.
+func (m *Logistic) Prob(features []float64) float64 {
+	z := m.Bias
+	for j, v := range features {
+		z += m.Weights[j] * (v - m.means[j]) / m.scales[j]
+	}
+	return sigmoid(z)
+}
+
+// Predict returns Prob(features) >= 0.5.
+func (m *Logistic) Predict(features []float64) bool {
+	return m.Prob(features) >= 0.5
+}
+
+func sigmoid(z float64) float64 {
+	// Guard extremes to avoid overflow in Exp.
+	if z > 35 {
+		return 1
+	}
+	if z < -35 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,164 @@
+// Package stl implements Seasonal-Trend decomposition using LOESS (STL,
+// Cleveland et al. 1990) together with the "naive" moving-average seasonal
+// decomposition the paper compares against (§2.5). Both decompose an
+// active-address time series into trend + seasonal + residual; the paper
+// adopts STL because it is more robust to outliers.
+package stl
+
+import (
+	"fmt"
+	"math"
+)
+
+// loessFitAt evaluates a locally weighted polynomial regression of y
+// (observed at integer positions 0..len(y)-1) at position at. span is the
+// number of nearest neighbours included; degree is 0, 1 or 2. rho, when
+// non-nil, holds per-point robustness weights multiplied into the tricube
+// kernel. Positions outside [0, len(y)-1] extrapolate from the nearest
+// span points, which STL uses to extend cycle-subseries by one period on
+// each side.
+func loessFitAt(y []float64, rho []float64, span, degree int, at float64) float64 {
+	n := len(y)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return y[0]
+	}
+	if span < 2 {
+		span = 2
+	}
+	q := span
+	if q > n {
+		q = n
+	}
+	// Window of the q nearest integer positions to at.
+	lo := int(math.Round(at)) - q/2
+	if lo < 0 {
+		lo = 0
+	}
+	if lo+q > n {
+		lo = n - q
+	}
+	// Slide the window to actually contain the q nearest points.
+	for lo > 0 && at-float64(lo-1) < float64(lo+q-1)-at {
+		lo--
+	}
+	for lo+q < n && float64(lo+q)-at < at-float64(lo) {
+		lo++
+	}
+	dmax := math.Max(at-float64(lo), float64(lo+q-1)-at)
+	if span > n {
+		// Cleveland's span inflation: for q > n the bandwidth grows
+		// proportionally, flattening the fit toward a global polynomial.
+		dmax *= float64(span) / float64(n)
+	}
+	if dmax <= 0 {
+		dmax = 1
+	}
+
+	// Weighted least squares of the chosen degree via normal equations.
+	var s [5]float64 // sums of w * x^k, k = 0..4
+	var t [3]float64 // sums of w * y * x^k, k = 0..2
+	for j := lo; j < lo+q; j++ {
+		d := math.Abs(float64(j) - at)
+		u := d / dmax
+		if u >= 1 {
+			continue
+		}
+		w := 1 - u*u*u
+		w = w * w * w
+		if rho != nil {
+			w *= rho[j]
+		}
+		if w <= 0 {
+			continue
+		}
+		x := float64(j) - at // center on the evaluation point
+		xp := 1.0
+		for k := 0; k <= 2*degree; k++ {
+			s[k] += w * xp
+			if k <= degree {
+				t[k] += w * y[j] * xp
+			}
+			xp *= x
+		}
+	}
+	if s[0] == 0 {
+		// All weights vanished (can happen when robustness weights zero out
+		// the whole window); fall back to the unweighted window mean.
+		sum := 0.0
+		for j := lo; j < lo+q; j++ {
+			sum += y[j]
+		}
+		return sum / float64(q)
+	}
+	switch degree {
+	case 0:
+		return t[0] / s[0]
+	case 1:
+		det := s[0]*s[2] - s[1]*s[1]
+		if det == 0 {
+			return t[0] / s[0]
+		}
+		// Since x is centered at the evaluation point, the intercept is
+		// the fitted value.
+		return (t[0]*s[2] - t[1]*s[1]) / det
+	case 2:
+		a, b, c := s[0], s[1], s[2]
+		d, e, f := s[1], s[2], s[3]
+		g, h, i := s[2], s[3], s[4]
+		det := a*(e*i-f*h) - b*(d*i-f*g) + c*(d*h-e*g)
+		if det == 0 {
+			return t[0] / s[0]
+		}
+		// Cramer's rule for the intercept coefficient only.
+		det0 := t[0]*(e*i-f*h) - b*(t[1]*i-f*t[2]) + c*(t[1]*h-e*t[2])
+		return det0 / det
+	default:
+		panic(fmt.Sprintf("stl: unsupported loess degree %d", degree))
+	}
+}
+
+// Loess smooths y with locally weighted regression, returning the fitted
+// value at every position. span is the neighbourhood size in points and
+// degree the local polynomial degree (0, 1 or 2). rho may be nil.
+func Loess(y []float64, span, degree int, rho []float64) []float64 {
+	out := make([]float64, len(y))
+	for i := range y {
+		out[i] = loessFitAt(y, rho, span, degree, float64(i))
+	}
+	return out
+}
+
+// movingAverage returns the simple moving average of y with window m; the
+// result has len(y)-m+1 points.
+func movingAverage(y []float64, m int) []float64 {
+	n := len(y)
+	if m <= 0 || m > n {
+		return nil
+	}
+	out := make([]float64, n-m+1)
+	sum := 0.0
+	for i := 0; i < m; i++ {
+		sum += y[i]
+	}
+	out[0] = sum / float64(m)
+	for i := m; i < n; i++ {
+		sum += y[i] - y[i-m]
+		out[i-m+1] = sum / float64(m)
+	}
+	return out
+}
+
+// nextOdd returns the smallest odd integer >= v (and >= 3).
+func nextOdd(v float64) int {
+	n := int(math.Ceil(v))
+	if n < 3 {
+		n = 3
+	}
+	if n%2 == 0 {
+		n++
+	}
+	return n
+}
