@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test tier1 vet race experiments bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# tier1 is the gate every change must pass: clean build, vet, and the full
+# test suite under the race detector.
+tier1: build vet race
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x

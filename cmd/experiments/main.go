@@ -65,6 +65,7 @@ func catalog() []experiment {
 		{"ablation-repair", "1-loss repair under loss sweep (§3.3)", wrap(experiments.AblationLossRepair)},
 		{"ablation-persistence", "persistence-rule sweep (§2.4)", wrap(experiments.AblationPersistence)},
 		{"ablation-outagefilter", "pair filter vs belief-based outage masking (§2.6)", wrap(experiments.AblationOutageFilter)},
+		{"robustness", "detection accuracy under injected measurement faults", wrap(experiments.Robustness)},
 	}
 }
 

@@ -71,6 +71,17 @@ type Config struct {
 	// detections overlapping "transients at the change of quarter"
 	// (§3.6). Default 4; negative disables.
 	BoundaryGuardDays int
+	// SanitizeRecords enables the record-stream sanitization pass:
+	// per-observer streams are window-clipped, re-sorted, and
+	// de-duplicated before repair and merging, quarantining the
+	// duplicated/reordered/skewed records a faulty collector produces.
+	// DefaultConfig enables it; the tally lands in BlockAnalysis.Sanitize.
+	SanitizeRecords bool
+	// MaxGapHours marks resampled trend bins farther than this many hours
+	// from any real measurement as low-confidence; detections whose point
+	// of change falls in such a gap move to BlockAnalysis.LowConfChanges
+	// instead of Changes (default 24; negative disables gap marking).
+	MaxGapHours int
 	// STLOuter is the number of STL robustness iterations (default 1).
 	STLOuter int
 }
@@ -89,6 +100,8 @@ func DefaultConfig(start, end int64) Config {
 		BoundaryGuardDays:  4,
 		MinChangeAddresses: 1.2,
 		STLOuter:           1,
+		SanitizeRecords:    true,
+		MaxGapHours:        24,
 	}
 }
 
@@ -118,6 +131,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BoundaryGuardDays == 0 {
 		c.BoundaryGuardDays = 4
+	}
+	if c.MaxGapHours == 0 {
+		c.MaxGapHours = 24
 	}
 	if c.MinChangeAddresses == 0 {
 		c.MinChangeAddresses = 1.2
@@ -169,6 +185,18 @@ type BlockAnalysis struct {
 	// and changes masked by detected outages).
 	Changes     []Change
 	OutagePairs []Change
+	// LowConfChanges are detections whose point of change falls in a
+	// low-confidence measurement gap (see Config.MaxGapHours) — kept out
+	// of Changes so aggregation only counts well-measured detections.
+	LowConfChanges []Change
+	// Confidence marks, per Resampled bin, whether a real measurement
+	// lies within MaxGapHours; nil when gap marking is disabled or the
+	// block is not change-sensitive.
+	Confidence []bool
+	// Sanitize tallies what the sanitization pass quarantined across all
+	// observer streams (zero when SanitizeRecords is off or streams were
+	// clean).
+	Sanitize reconstruct.SanitizeReport
 	// Outages are the belief-detected outage intervals used for masking.
 	Outages []outage.Interval
 	// SampleStart and SampleStep map sample indices to timestamps.
@@ -198,6 +226,10 @@ func (cfg Config) AnalyzeRecords(perObs [][]probe.Record, eb []int) (*BlockAnaly
 	if len(eb) == 0 {
 		return &BlockAnalysis{Series: &reconstruct.Series{}}, nil
 	}
+	var san reconstruct.SanitizeReport
+	if cfg.SanitizeRecords {
+		san = cfg.sanitizeStreams(perObs)
+	}
 	if cfg.Repair {
 		for _, stream := range perObs {
 			reconstruct.Repair1Loss(stream)
@@ -208,7 +240,27 @@ func (cfg Config) AnalyzeRecords(perObs [][]probe.Record, eb []int) (*BlockAnaly
 	if err != nil {
 		return nil, err
 	}
-	return cfg.analyzeSeries(series, cfg.detectOutages(merged))
+	return cfg.analyzeSeries(series, cfg.detectOutages(merged), san)
+}
+
+// sanitizeStreams window-clips, re-sorts, and de-duplicates each observer
+// stream in place, merging the per-stream reports. The window spans the
+// analysis and baseline windows so legitimate baseline records survive.
+func (cfg Config) sanitizeStreams(perObs [][]probe.Record) reconstruct.SanitizeReport {
+	lo, hi := cfg.AnalysisStart, cfg.AnalysisEnd
+	if cfg.BaselineStart != 0 && cfg.BaselineStart < lo {
+		lo = cfg.BaselineStart
+	}
+	if cfg.BaselineEnd > hi {
+		hi = cfg.BaselineEnd
+	}
+	var total reconstruct.SanitizeReport
+	for i := range perObs {
+		var rep reconstruct.SanitizeReport
+		perObs[i], rep = reconstruct.Sanitize(perObs[i], lo, hi)
+		total.Merge(rep)
+	}
+	return total
 }
 
 // AnalyzeSeries runs classification and change detection over an already
@@ -217,10 +269,10 @@ func (cfg Config) AnalyzeRecords(perObs [][]probe.Record, eb []int) (*BlockAnaly
 // raw probe records, belief-based outage masking is unavailable and only
 // the timing-based pair filter applies.
 func (cfg Config) AnalyzeSeries(series *reconstruct.Series) (*BlockAnalysis, error) {
-	return cfg.analyzeSeries(series, nil)
+	return cfg.analyzeSeries(series, nil, reconstruct.SanitizeReport{})
 }
 
-func (cfg Config) analyzeSeries(series *reconstruct.Series, outages []outage.Interval) (*BlockAnalysis, error) {
+func (cfg Config) analyzeSeries(series *reconstruct.Series, outages []outage.Interval, san reconstruct.SanitizeReport) (*BlockAnalysis, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -233,6 +285,7 @@ func (cfg Config) analyzeSeries(series *reconstruct.Series, outages []outage.Int
 		Series:      series,
 		Class:       cls,
 		Outages:     outages,
+		Sanitize:    san,
 		SampleStart: cfg.AnalysisStart,
 		SampleStep:  cfg.SampleStep,
 	}
@@ -277,9 +330,16 @@ func (cfg Config) detectOutages(merged []probe.Record) []outage.Interval {
 // both the five workday bumps and the weekend flats (Figure 1a) so the
 // trend carries only the long-term baseline.
 func (cfg Config) analyzeTrend(out *BlockAnalysis) error {
-	resampled := out.Series.Resample(cfg.AnalysisStart, cfg.AnalysisEnd, cfg.SampleStep)
+	maxGap := int64(cfg.MaxGapHours) * 3600
+	if cfg.MaxGapHours < 0 {
+		maxGap = 0
+	}
+	resampled, conf := out.Series.ResampleWithGaps(cfg.AnalysisStart, cfg.AnalysisEnd, cfg.SampleStep, maxGap)
 	if resampled == nil {
 		return nil
+	}
+	if maxGap > 0 {
+		out.Confidence = conf
 	}
 	period := int(7 * netsim.SecondsPerDay / cfg.SampleStep)
 	if len(resampled) < 2*period {
@@ -338,12 +398,27 @@ func (cfg Config) analyzeTrend(out *BlockAnalysis) error {
 		}
 		if masked {
 			removed = append(removed, c)
+		} else if out.lowConfidence(c) {
+			// A change estimated inside a measurement gap (an observer
+			// downtime no other site covered) is reported separately: it may
+			// be real, but its timing is carried-forward guesswork.
+			out.LowConfChanges = append(out.LowConfChanges, c)
 		} else {
 			out.Changes = append(out.Changes, c)
 		}
 	}
 	out.OutagePairs = removed
 	return nil
+}
+
+// lowConfidence reports whether the change's estimated point falls in a
+// bin with no nearby real measurement.
+func (a *BlockAnalysis) lowConfidence(c Change) bool {
+	if a.Confidence == nil || a.SampleStep <= 0 {
+		return false
+	}
+	idx := int((c.Point - a.SampleStart) / a.SampleStep)
+	return idx >= 0 && idx < len(a.Confidence) && !a.Confidence[idx]
 }
 
 // filterOutagePairs removes down→up (or up→down) pairs whose alarms fall
@@ -455,8 +530,9 @@ var scratchPool = sync.Pool{New: func() interface{} { return &scratch{} }}
 
 // AnalyzeBlock probes a block with the engine over the analysis window and
 // analyzes the resulting streams — the common entry point for a fully
-// simulated block.
-func (cfg Config) AnalyzeBlock(eng *probe.Engine, b *netsim.Block) (*BlockAnalysis, error) {
+// simulated block. eng is any Prober (*probe.Engine, or a faults.Engine
+// wrapping one).
+func (cfg Config) AnalyzeBlock(eng Prober, b *netsim.Block) (*BlockAnalysis, error) {
 	c := cfg.withDefaults()
 	if err := c.validate(); err != nil {
 		return nil, err
@@ -472,6 +548,10 @@ func (cfg Config) AnalyzeBlock(eng *probe.Engine, b *netsim.Block) (*BlockAnalys
 	if err != nil {
 		return nil, err
 	}
+	var san reconstruct.SanitizeReport
+	if c.SanitizeRecords {
+		san = c.sanitizeStreams(sc.perObs)
+	}
 	if c.Repair {
 		for _, stream := range sc.perObs {
 			reconstruct.Repair1Loss(stream)
@@ -482,5 +562,5 @@ func (cfg Config) AnalyzeBlock(eng *probe.Engine, b *netsim.Block) (*BlockAnalys
 	if err != nil {
 		return nil, err
 	}
-	return c.analyzeSeries(series, c.detectOutages(sc.merged))
+	return c.analyzeSeries(series, c.detectOutages(sc.merged), san)
 }

@@ -245,7 +245,7 @@ func TestOutageIntervalPlumbing(t *testing.T) {
 	}
 	cfg := DefaultConfig(start, end)
 	ivs := []outage.Interval{{Start: start + 20*day, End: start + 22*day}}
-	a, err := cfg.analyzeSeries(&reconstruct.Series{Times: times, Counts: counts}, ivs)
+	a, err := cfg.analyzeSeries(&reconstruct.Series{Times: times, Counts: counts}, ivs, reconstruct.SanitizeReport{})
 	if err != nil {
 		t.Fatal(err)
 	}

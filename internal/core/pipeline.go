@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -10,13 +11,59 @@ import (
 	"github.com/diurnalnet/diurnal/internal/geo"
 	"github.com/diurnalnet/diurnal/internal/netsim"
 	"github.com/diurnalnet/diurnal/internal/probe"
+	"github.com/diurnalnet/diurnal/internal/reconstruct"
 )
+
+// Prober abstracts the probing engine seen by the analysis pipeline.
+// *probe.Engine satisfies it directly; internal/faults.Engine wraps one to
+// inject measurement-plane failures without the pipeline noticing.
+type Prober interface {
+	// CollectInto gathers per-observer record streams for one block over
+	// [start, end), reusing bufs (which may be nil). See
+	// probe.Engine.CollectInto for the buffer contract.
+	CollectInto(b *netsim.Block, start, end int64, bufs [][]probe.Record) ([][]probe.Record, error)
+}
 
 // BlockOutcome pairs a block's pipeline result with its placement.
 type BlockOutcome struct {
 	ID       netsim.BlockID
 	Place    geo.Placement
 	Analysis *BlockAnalysis
+}
+
+// BlockError records one block's analysis failure during a world run.
+type BlockError struct {
+	// Index is the block's position in the input world slice.
+	Index int
+	ID    netsim.BlockID
+	Err   error
+}
+
+// Error renders the failure with its block identity.
+func (e BlockError) Error() string {
+	return fmt.Sprintf("block %d (%s): %v", e.Index, e.ID, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e BlockError) Unwrap() error { return e.Err }
+
+// RunReport describes how a world run degraded: which blocks failed and
+// which observers were discarded. A fully healthy run has an empty report.
+type RunReport struct {
+	// BlockErrors lists per-block failures in world order; the matching
+	// WorldResult.Blocks entries carry a nil Analysis. The run continues
+	// past them — one sick block no longer aborts the world.
+	BlockErrors []BlockError
+	// ExcludedObservers are engine observer indices whose record streams
+	// were discarded before merging by the §2.7 cross-observer health
+	// check — the paper's "sites c and g removed in 2020" decision as
+	// code. Nil when the check is disabled or found nothing.
+	ExcludedObservers []int
+	// ObserverRates are the sampled per-observer reply rates behind the
+	// exclusion decision (nil when the check is disabled).
+	ObserverRates []float64
+	// AnalyzedBlocks counts blocks whose analysis completed.
+	AnalyzedBlocks int
 }
 
 // WorldResult aggregates a whole-world pipeline run.
@@ -34,19 +81,42 @@ type WorldResult struct {
 	CellCS map[geo.CellKey]int
 	// ContinentCS is the change-sensitive block count per continent.
 	ContinentCS map[geo.Continent]int
+	// Report summarizes degradation during the run (never nil after Run).
+	Report *RunReport
 }
 
 // Pipeline runs the full analysis over a simulated world.
 type Pipeline struct {
 	Config Config
-	Engine *probe.Engine
+	Engine Prober
 	// Workers bounds parallelism (default GOMAXPROCS).
 	Workers int
+	// ExcludeSuspects enables the §2.7 cross-observer health check: reply
+	// rates are sampled over up to HealthSample blocks and observers
+	// flagged by reconstruct.ObserverHealth.Suspect have their streams
+	// discarded before merging, reproducing the paper's observer-discard
+	// decision.
+	ExcludeSuspects bool
+	// HealthSample bounds how many blocks the health pre-pass probes
+	// (default 64).
+	HealthSample int
+	// HealthTol is the reply-rate tolerance below the median before an
+	// observer is suspect (default 0.1).
+	HealthTol float64
 }
 
 // Run probes and analyzes every block, in parallel, and aggregates the
 // results. The output is deterministic for a fixed world and config.
+//
+// Per-block failures do not abort the run: they are accumulated into the
+// result's Report and the remaining blocks are analyzed, so a partial
+// WorldResult covering every healthy block is returned. The error is
+// non-nil only when the configuration is invalid or every block failed.
 func (p *Pipeline) Run(world []*dataset.WorldBlock) (*WorldResult, error) {
+	cfg := p.Config.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -58,11 +128,24 @@ func (p *Pipeline) Run(world []*dataset.WorldBlock) (*WorldResult, error) {
 		UpDaily:     map[geo.CellKey]map[int64]int{},
 		CellCS:      map[geo.CellKey]int{},
 		ContinentCS: map[geo.Continent]int{},
+		Report:      &RunReport{},
+	}
+	eng := p.Engine
+	if p.ExcludeSuspects {
+		excluded, rates := p.suspectObservers(world)
+		res.Report.ExcludedObservers = excluded
+		res.Report.ObserverRates = rates
+		if len(excluded) > 0 {
+			drop := make(map[int]bool, len(excluded))
+			for _, oi := range excluded {
+				drop[oi] = true
+			}
+			eng = &excludeProber{inner: p.Engine, drop: drop}
+		}
 	}
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
+		wg sync.WaitGroup
+		mu sync.Mutex
 	)
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -71,13 +154,12 @@ func (p *Pipeline) Run(world []*dataset.WorldBlock) (*WorldResult, error) {
 			defer wg.Done()
 			for i := range jobs {
 				wb := world[i]
-				analysis, err := p.Config.AnalyzeBlock(p.Engine, wb.Block)
+				analysis, err := p.Config.AnalyzeBlock(eng, wb.Block)
 				if err != nil {
 					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
+					res.Report.BlockErrors = append(res.Report.BlockErrors, BlockError{Index: i, ID: wb.ID, Err: err})
 					mu.Unlock()
+					res.Blocks[i] = BlockOutcome{ID: wb.ID, Place: wb.Place}
 					continue
 				}
 				res.Blocks[i] = BlockOutcome{ID: wb.ID, Place: wb.Place, Analysis: analysis}
@@ -89,13 +171,88 @@ func (p *Pipeline) Run(world []*dataset.WorldBlock) (*WorldResult, error) {
 	}
 	close(jobs)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
+	sort.Slice(res.Report.BlockErrors, func(i, j int) bool {
+		return res.Report.BlockErrors[i].Index < res.Report.BlockErrors[j].Index
+	})
 	for i := range res.Blocks {
+		if res.Blocks[i].Analysis != nil {
+			res.Report.AnalyzedBlocks++
+		}
 		res.aggregate(&res.Blocks[i])
 	}
+	if len(world) > 0 && res.Report.AnalyzedBlocks == 0 && len(res.Report.BlockErrors) > 0 {
+		return res, fmt.Errorf("core: all %d blocks failed: %w", len(world), res.Report.BlockErrors[0])
+	}
 	return res, nil
+}
+
+// suspectObservers samples reply rates across the world and returns the
+// observer indices to discard, with the sampled rates. It never flags
+// every observer: with no healthy reference the check cannot tell who is
+// broken, so it degrades to keeping them all.
+func (p *Pipeline) suspectObservers(world []*dataset.WorldBlock) (excluded []int, rates []float64) {
+	sample := p.HealthSample
+	if sample <= 0 {
+		sample = 64
+	}
+	if sample > len(world) {
+		sample = len(world)
+	}
+	if sample == 0 {
+		return nil, nil
+	}
+	cfg := p.Config.withDefaults()
+	stride := len(world) / sample
+	if stride < 1 {
+		stride = 1
+	}
+	var health *reconstruct.ObserverHealth
+	var bufs [][]probe.Record
+	for i, n := 0, 0; i < len(world) && n < sample; i += stride {
+		var err error
+		bufs, err = p.Engine.CollectInto(world[i].Block, cfg.AnalysisStart, cfg.AnalysisEnd, bufs)
+		if err != nil {
+			continue
+		}
+		if health == nil {
+			health = reconstruct.NewObserverHealth(len(bufs))
+		}
+		health.Add(bufs)
+		n++
+	}
+	if health == nil {
+		return nil, nil
+	}
+	tol := p.HealthTol
+	if tol <= 0 {
+		tol = 0.1
+	}
+	rates = health.Rates()
+	excluded = health.Suspect(tol)
+	if len(excluded) == len(rates) {
+		return nil, rates
+	}
+	return excluded, rates
+}
+
+// excludeProber drops excluded observers' record streams after collection
+// — the run proceeds as if the broken sites had never reported.
+type excludeProber struct {
+	inner Prober
+	drop  map[int]bool
+}
+
+func (p *excludeProber) CollectInto(b *netsim.Block, start, end int64, bufs [][]probe.Record) ([][]probe.Record, error) {
+	bufs, err := p.inner.CollectInto(b, start, end, bufs)
+	if err != nil {
+		return bufs, err
+	}
+	for i := range bufs {
+		if p.drop[i] {
+			bufs[i] = bufs[i][:0]
+		}
+	}
+	return bufs, nil
 }
 
 // aggregate folds one block outcome into the world-level tallies.

@@ -8,6 +8,18 @@ import (
 	"github.com/diurnalnet/diurnal/internal/netsim"
 )
 
+// skipIfRace skips a world-scale statistical experiment under the race
+// detector: these are single-goroutine numeric workloads whose ~10x race
+// slowdown blows the package past the test timeout on small machines,
+// and the pipeline's real concurrency is race-tested in internal/core.
+// TestRobustness and the fast experiment tests still run under -race.
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("world-scale experiment skipped under -race")
+	}
+}
+
 // The experiment tests assert the paper's qualitative shape — who wins, by
 // roughly what factor, where peaks fall — at reduced scale. Heavier
 // experiments are skipped under -short.
@@ -45,6 +57,7 @@ func TestIntersectSemantics(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("world-scale experiment")
 	}
@@ -84,6 +97,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("world-scale experiment")
 	}
@@ -112,6 +126,7 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestTable4Coherence(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("world-scale experiment")
 	}
@@ -156,6 +171,7 @@ func TestTable4Coherence(t *testing.T) {
 }
 
 func TestTable5PrecisionRecall(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("full-pipeline experiment")
 	}
@@ -179,6 +195,7 @@ func TestTable5PrecisionRecall(t *testing.T) {
 }
 
 func TestLocationValidationShape(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("full-pipeline experiment")
 	}
@@ -365,6 +382,7 @@ func TestFBSModelQuality(t *testing.T) {
 }
 
 func TestWorldStudies2020(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("heavy half-year pipeline run")
 	}
@@ -418,6 +436,7 @@ func TestWorldStudies2020(t *testing.T) {
 }
 
 func TestWorldStudies2023Controls(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("heavy quarter pipeline run")
 	}
@@ -443,6 +462,7 @@ func TestWorldStudies2023Controls(t *testing.T) {
 }
 
 func TestFigure14ThresholdCurves(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("world-scale experiment")
 	}
@@ -462,6 +482,7 @@ func TestFigure14ThresholdCurves(t *testing.T) {
 }
 
 func TestAblationShapes(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("world-scale ablations")
 	}
@@ -518,6 +539,7 @@ func TestAblationShapes(t *testing.T) {
 }
 
 func TestAblationOutageFilter(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("full-pipeline ablation")
 	}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRobustness(t *testing.T) {
+	r, err := Robustness(Options{Blocks: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(RobustnessSeverities) {
+		t.Fatalf("rows %d != severities %d", len(r.Rows), len(RobustnessSeverities))
+	}
+	clean := r.Rows[0]
+	worst := r.Rows[len(r.Rows)-1]
+	if clean.Severity != 0 || worst.Severity != 1 {
+		t.Fatalf("sweep endpoints wrong: %v .. %v", clean.Severity, worst.Severity)
+	}
+	// The clean run must be genuinely clean and find something to score.
+	if clean.Quarantined != 0 || clean.Excluded != 0 || clean.Failed != 0 {
+		t.Fatalf("severity 0 is not clean: %+v", clean)
+	}
+	if clean.TP == 0 {
+		t.Fatal("clean run detected no WFH changes; the sweep has nothing to degrade")
+	}
+	for i, row := range r.Rows {
+		// Graceful degradation: faults must never sink healthy blocks.
+		if row.Failed != 0 {
+			t.Errorf("severity %.2f: %d blocks failed", row.Severity, row.Failed)
+		}
+		if row.Analyzed != clean.Analyzed {
+			t.Errorf("severity %.2f: analyzed %d != clean %d", row.Severity, row.Analyzed, clean.Analyzed)
+		}
+		// Sanitization work must grow with severity (strictly from 0).
+		if i > 0 && row.Quarantined <= r.Rows[i-1].Quarantined {
+			t.Errorf("quarantined records not increasing at severity %.2f: %d <= %d",
+				row.Severity, row.Quarantined, r.Rows[i-1].Quarantined)
+		}
+	}
+	// Unmitigated accuracy must degrade across the sweep...
+	if worst.RawRecall >= clean.RawRecall {
+		t.Errorf("raw recall did not degrade: %.2f >= %.2f", worst.RawRecall, clean.RawRecall)
+	}
+	// ...while the mitigated pipeline holds up at least as well, and the
+	// health check catches the broken observer at full severity.
+	if worst.Recall < worst.RawRecall {
+		t.Errorf("mitigated recall %.2f below raw %.2f", worst.Recall, worst.RawRecall)
+	}
+	if worst.Excluded == 0 {
+		t.Error("severity 1 should exclude the broken observer")
+	}
+	out := r.String()
+	for _, want := range []string{"severity", "raw recall", "quarantined"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+// Package faults models realistic measurement-plane failures and injects
+// them into the probing substrate. The paper's measurement plane is shaped
+// by exactly these pathologies: congestive probe loss motivates 1-loss
+// repair (§3.3), and unsynchronized, occasionally broken observers
+// motivate the cross-observer check that discarded sites c and g in 2020
+// (§2.7). Four fault families are modeled:
+//
+//   - Downtime: an observer goes completely dark for a window (failed
+//     hardware), producing no records at all.
+//   - GilbertElliott: bursty link loss from a two-state Markov channel,
+//     layered on top of the smooth diurnal probe.LossModel.
+//   - ClockSkew: a constant offset plus per-day drift on an observer's
+//     record timestamps (observers "start independently and run
+//     unsynchronized", §2.7 — broken NTP makes that pathological).
+//   - Corruption: the record pipeline duplicates, reorders, or truncates
+//     whole batches of records (a crashed collector replaying or losing
+//     its buffer).
+//
+// Engine wraps a probe.Engine and applies a Plan of these faults; it
+// satisfies core.Prober, so a faulty engine drops into the analysis
+// pipeline unchanged. Everything is deterministic for a fixed Plan seed.
+package faults
+
+import (
+	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/probe"
+)
+
+// hash salts, one per independent fault decision.
+const (
+	saltGEInit uint64 = 0xfa01
+	saltGEStep uint64 = 0xfa02
+	saltGELoss uint64 = 0xfa03
+	saltDup    uint64 = 0xfa04
+	saltSwap   uint64 = 0xfa05
+	saltTrunc  uint64 = 0xfa06
+)
+
+// Downtime is a half-open window [Start, End) during which an observer is
+// offline and produces no records.
+type Downtime struct {
+	Start, End int64
+}
+
+// GilbertElliott is a two-state bursty-loss channel: the link alternates
+// between a good and a bad state with per-round transition probabilities,
+// and drops probes with a state-dependent probability. Unlike the smooth
+// diurnal probe.LossModel, loss arrives in bursts — the failure mode that
+// defeats 1-loss repair, which assumes isolated losses (§2.3).
+type GilbertElliott struct {
+	// PGoodToBad and PBadToGood are per-round state transition
+	// probabilities.
+	PGoodToBad, PBadToGood float64
+	// LossGood and LossBad are per-probe loss probabilities in each state.
+	LossGood, LossBad float64
+}
+
+// lossFunc builds a per-block probe.Observer.ExtraLoss closure. The
+// channel state evolves lazily over probing rounds; the closure carries
+// state and must be used by a single goroutine for a single block, which
+// Engine.CollectInto guarantees by building fresh closures per call.
+func (g *GilbertElliott) lossFunc(seed, obs uint64) func(id netsim.BlockID, t int64, addr int) bool {
+	bad := false
+	started := false
+	var lastRound int64
+	return func(id netsim.BlockID, t int64, addr int) bool {
+		round := t / netsim.RoundSeconds
+		if !started {
+			started = true
+			lastRound = round
+			// Draw the initial state from the chain's stationary
+			// distribution so short windows are not biased good.
+			if denom := g.PGoodToBad + g.PBadToGood; denom > 0 {
+				pi := g.PGoodToBad / denom
+				bad = netsim.HashUnit(seed, obs, uint64(id), saltGEInit) < pi
+			}
+		}
+		for ; lastRound < round; lastRound++ {
+			u := netsim.HashUnit(seed, obs, uint64(id), uint64(lastRound+1), saltGEStep)
+			if bad {
+				bad = u >= g.PBadToGood
+			} else {
+				bad = u < g.PGoodToBad
+			}
+		}
+		rate := g.LossGood
+		if bad {
+			rate = g.LossBad
+		}
+		return rate > 0 && netsim.HashUnit(seed, obs, uint64(id), uint64(t), uint64(addr), saltGELoss) < rate
+	}
+}
+
+// ClockSkew shifts an observer's record timestamps: a constant Offset plus
+// DriftPerDay seconds of accumulated drift per elapsed day. The shift is
+// monotone, so one observer's stream stays internally ordered, but its
+// records merge against other observers at the wrong instants and can fall
+// off the window edges (where sanitization quarantines them).
+type ClockSkew struct {
+	// Offset is the constant skew in seconds (positive = fast clock).
+	Offset int64
+	// DriftPerDay is the additional skew accumulated per elapsed day.
+	DriftPerDay float64
+}
+
+// apply rewrites timestamps in place; start anchors drift accumulation.
+func (c *ClockSkew) apply(start int64, records []probe.Record) {
+	for i := range records {
+		drift := int64(c.DriftPerDay * float64(records[i].T-start) / float64(netsim.SecondsPerDay))
+		records[i].T += c.Offset + drift
+	}
+}
+
+// Corruption mangles an observer's record stream at batch granularity,
+// modeling a collector that crashes and replays, swaps, or loses parts of
+// its write buffer.
+type Corruption struct {
+	// DuplicateProb is the per-batch probability the batch is emitted
+	// twice; ReorderProb the probability it is swapped with its
+	// predecessor (breaking time order); TruncateProb the probability its
+	// second half is lost.
+	DuplicateProb, ReorderProb, TruncateProb float64
+	// BatchSize is the flush granularity in records (default 128).
+	BatchSize int
+}
+
+// apply returns the corrupted stream (a fresh slice when any fault fired).
+func (c *Corruption) apply(seed, obs, block uint64, records []probe.Record) []probe.Record {
+	size := c.BatchSize
+	if size <= 0 {
+		size = 128
+	}
+	var batches [][]probe.Record
+	dirty := false
+	for i, bi := 0, uint64(0); i < len(records); i, bi = i+size, bi+1 {
+		b := records[i:min(i+size, len(records))]
+		if netsim.HashUnit(seed, obs, block, bi, saltTrunc) < c.TruncateProb {
+			b = b[:len(b)/2]
+			dirty = true
+		}
+		batches = append(batches, b)
+		if netsim.HashUnit(seed, obs, block, bi, saltDup) < c.DuplicateProb {
+			batches = append(batches, b)
+			dirty = true
+		}
+		if len(batches) >= 2 && netsim.HashUnit(seed, obs, block, bi, saltSwap) < c.ReorderProb {
+			batches[len(batches)-1], batches[len(batches)-2] = batches[len(batches)-2], batches[len(batches)-1]
+			dirty = true
+		}
+	}
+	if !dirty {
+		return records
+	}
+	total := 0
+	for _, b := range batches {
+		total += len(b)
+	}
+	out := make([]probe.Record, 0, total)
+	for _, b := range batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// ObserverFaults gathers every fault applied to one observer. The zero
+// value injects nothing.
+type ObserverFaults struct {
+	// Downtimes are windows where the observer is offline.
+	Downtimes []Downtime
+	// Burst, when non-nil, adds Gilbert–Elliott bursty link loss.
+	Burst *GilbertElliott
+	// Clock, when non-nil, skews the observer's record timestamps.
+	Clock *ClockSkew
+	// Corrupt, when non-nil, mangles the observer's record stream.
+	Corrupt *Corruption
+}
+
+// down reports whether the observer is inside any downtime window at t.
+func (f *ObserverFaults) down(t int64) bool {
+	for _, d := range f.Downtimes {
+		if t >= d.Start && t < d.End {
+			return true
+		}
+	}
+	return false
+}
+
+// Plan assigns faults to an engine's observers by index.
+type Plan struct {
+	// Seed drives all fault randomness, independent of the world seed.
+	Seed uint64
+	// PerObserver is indexed like the engine's observer list; missing
+	// indices are fault-free.
+	PerObserver []ObserverFaults
+}
+
+// observer returns the faults for index i, or nil when there are none.
+func (p *Plan) observer(i int) *ObserverFaults {
+	if p == nil || i >= len(p.PerObserver) {
+		return nil
+	}
+	return &p.PerObserver[i]
+}
+
+// Engine wraps a probe engine and injects the plan's faults: downtime and
+// bursty loss act inside the adaptive probing loop (they change what gets
+// probed, exactly as real loss would), while clock skew and stream
+// corruption act on the collected records. It implements core.Prober and
+// is safe for concurrent CollectInto calls, like the engine it wraps.
+type Engine struct {
+	Inner *probe.Engine
+	Plan  *Plan
+}
+
+// CollectInto probes the block through the fault plan. The bufs contract
+// matches probe.Engine.CollectInto; corrupted streams may be replaced by
+// fresh slices.
+func (e *Engine) CollectInto(b *netsim.Block, start, end int64, bufs [][]probe.Record) ([][]probe.Record, error) {
+	inner := *e.Inner
+	inner.Observers = append([]probe.Observer(nil), e.Inner.Observers...)
+	for oi := range inner.Observers {
+		f := e.Plan.observer(oi)
+		if f == nil {
+			continue
+		}
+		o := &inner.Observers[oi]
+		if len(f.Downtimes) > 0 {
+			faults := f
+			o.Down = func(t int64) bool { return faults.down(t) }
+		}
+		if f.Burst != nil {
+			// A fresh closure per call keeps the channel's Markov state
+			// private to this block and goroutine.
+			o.ExtraLoss = f.Burst.lossFunc(e.planSeed(), uint64(oi))
+		}
+	}
+	bufs, err := inner.CollectInto(b, start, end, bufs)
+	if err != nil {
+		return bufs, err
+	}
+	for oi := range bufs {
+		f := e.Plan.observer(oi)
+		if f == nil {
+			continue
+		}
+		if f.Clock != nil {
+			f.Clock.apply(start, bufs[oi])
+		}
+		if f.Corrupt != nil {
+			bufs[oi] = f.Corrupt.apply(e.planSeed(), uint64(oi), uint64(b.ID), bufs[oi])
+		}
+	}
+	return bufs, nil
+}
+
+func (e *Engine) planSeed() uint64 {
+	if e.Plan == nil {
+		return 0
+	}
+	return e.Plan.Seed
+}
+
+// DefaultPlan builds the severity-scaled composite plan used by the
+// robustness experiment and its regression tests. Severity 0 is
+// fault-free; severity 1 combines every pathology the paper reports:
+//
+//   - the last observer breaks like sites c and g: heavy erratic loss
+//     (even in the channel's good state) plus a multi-week downtime
+//     starting two weeks into the window;
+//   - every other observer suffers mild bursty link loss;
+//   - the first observer's clock runs fast and drifts;
+//   - one observer's record pipeline duplicates, reorders, and truncates
+//     batches.
+//
+// start anchors the downtime and drift; intermediate severities
+// interpolate every knob linearly.
+func DefaultPlan(observers int, severity float64, start int64, seed uint64) *Plan {
+	p := &Plan{Seed: seed}
+	if severity <= 0 || observers <= 0 {
+		return p
+	}
+	if severity > 1 {
+		severity = 1
+	}
+	p.PerObserver = make([]ObserverFaults, observers)
+	for i := range p.PerObserver {
+		p.PerObserver[i].Burst = &GilbertElliott{
+			PGoodToBad: 0.02 * severity,
+			PBadToGood: 0.25,
+			LossBad:    0.7 * severity,
+		}
+	}
+	broken := &p.PerObserver[observers-1]
+	broken.Burst = &GilbertElliott{
+		PGoodToBad: 0.10 * severity,
+		PBadToGood: 0.15,
+		LossGood:   0.4 * severity,
+		LossBad:    0.9 * severity,
+	}
+	downStart := start + 14*netsim.SecondsPerDay
+	broken.Downtimes = []Downtime{{
+		Start: downStart,
+		End:   downStart + int64(severity*14*float64(netsim.SecondsPerDay)),
+	}}
+	if observers > 1 {
+		p.PerObserver[0].Clock = &ClockSkew{
+			Offset:      int64(severity * 1800),
+			DriftPerDay: severity * 120,
+		}
+		p.PerObserver[1].Corrupt = &Corruption{
+			DuplicateProb: 0.15 * severity,
+			ReorderProb:   0.10 * severity,
+			TruncateProb:  0.10 * severity,
+		}
+	}
+	return p
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

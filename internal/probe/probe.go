@@ -88,6 +88,18 @@ type Observer struct {
 	// Loss, when non-nil, injects congestive loss on this observer's
 	// upstream link.
 	Loss *LossModel
+	// Down, when non-nil, reports whether the observer is offline at time
+	// t. Offline rounds produce no records at all — the hardware-failure
+	// downtime that silenced the paper's sites c and g in 2020 (§2.7).
+	// internal/faults supplies implementations.
+	Down func(t int64) bool
+	// ExtraLoss, when non-nil, is consulted per probe in addition to Loss
+	// and drops the probe (or its reply) when it returns true. It sees the
+	// destination block, probe time, and target address; internal/faults
+	// uses it for bursty Gilbert–Elliott link loss. Calls for one observer
+	// arrive in nondecreasing time order, so implementations may carry
+	// channel state across calls.
+	ExtraLoss func(id netsim.BlockID, t int64, addr int) bool
 }
 
 // Record is a single probe observation: at time T, address Addr of the
@@ -181,7 +193,9 @@ func (e *Engine) Run(b *netsim.Block, start, end int64, fn func(obs int, r Recor
 			return nil
 		}
 		st := &sts[oi]
-		e.round(b, oi, st.next, order, &st.cursor, fn)
+		if o := &e.Observers[oi]; o.Down == nil || !o.Down(st.next) {
+			e.round(b, oi, st.next, order, &st.cursor, fn)
+		}
 		st.next += netsim.RoundSeconds
 	}
 }
@@ -209,6 +223,9 @@ func (e *Engine) round(b *netsim.Block, oi int, t int64, order []int, cursor *in
 			if rate > 0 && netsim.HashUnit(o.Seed, uint64(b.ID), uint64(t), uint64(addr), saltLoss) < rate {
 				up = false // the probe or its reply was lost in transit
 			}
+		}
+		if up && o.ExtraLoss != nil && o.ExtraLoss(b.ID, t, addr) {
+			up = false
 		}
 		fn(oi, Record{T: t, Addr: uint8(addr), Up: up})
 		if up && sincePositive < 0 {

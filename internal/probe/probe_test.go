@@ -377,3 +377,89 @@ func TestCollectIntoShortBufSlice(t *testing.T) {
 		t.Fatalf("bufs not extended: %d", len(got))
 	}
 }
+
+func TestDownSkipsRounds(t *testing.T) {
+	b := newBlock(t, netsim.Spec{AlwaysOn: 20})
+	downStart := jan6 + 6*3600
+	downEnd := jan6 + 12*3600
+	e := &Engine{Observers: StandardObservers(1)}
+	e.Observers[0].Down = func(tm int64) bool { return tm >= downStart && tm < downEnd }
+	var before, during, after int
+	err := e.Run(b, jan6, jan6+24*3600, func(_ int, r Record) {
+		switch {
+		case r.T < downStart:
+			before++
+		case r.T < downEnd:
+			during++
+		default:
+			after++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if during != 0 {
+		t.Errorf("offline observer produced %d records during downtime", during)
+	}
+	if before == 0 || after == 0 {
+		t.Errorf("expected records outside downtime, got before=%d after=%d", before, after)
+	}
+}
+
+func TestDownOnlyAffectsOneObserver(t *testing.T) {
+	b := newBlock(t, netsim.Spec{AlwaysOn: 20})
+	e := &Engine{Observers: StandardObservers(2)}
+	e.Observers[0].Down = func(int64) bool { return true }
+	counts := make([]int, 2)
+	if err := e.Run(b, jan6, jan6+6*3600, func(obs int, r Record) { counts[obs]++ }); err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 0 {
+		t.Errorf("permanently down observer produced %d records", counts[0])
+	}
+	if counts[1] == 0 {
+		t.Error("healthy observer produced no records")
+	}
+}
+
+func TestExtraLossDropsPositives(t *testing.T) {
+	b := newBlock(t, netsim.Spec{AlwaysOn: 20})
+	e := &Engine{Observers: StandardObservers(1)}
+	e.Observers[0].ExtraLoss = func(netsim.BlockID, int64, int) bool { return true }
+	ups := 0
+	total := 0
+	if err := e.Run(b, jan6, jan6+6*3600, func(_ int, r Record) {
+		total++
+		if r.Up {
+			ups++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("expected probes despite loss")
+	}
+	if ups != 0 {
+		t.Errorf("total loss still yielded %d positive records", ups)
+	}
+}
+
+func TestExtraLossSeesTimeOrderedCalls(t *testing.T) {
+	b := newBlock(t, netsim.Spec{AlwaysOn: 10, Workers: 20})
+	e := &Engine{Observers: StandardObservers(1)}
+	last := int64(-1)
+	ordered := true
+	e.Observers[0].ExtraLoss = func(_ netsim.BlockID, tm int64, _ int) bool {
+		if tm < last {
+			ordered = false
+		}
+		last = tm
+		return false
+	}
+	if err := e.Run(b, jan6, jan6+12*3600, func(int, Record) {}); err != nil {
+		t.Fatal(err)
+	}
+	if !ordered {
+		t.Error("ExtraLoss calls arrived out of time order")
+	}
+}

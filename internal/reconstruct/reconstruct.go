@@ -42,6 +42,92 @@ func Repair1Loss(records []probe.Record) {
 	}
 }
 
+// SanitizeReport counts what Sanitize quarantined from one record stream.
+type SanitizeReport struct {
+	// OutOfWindow records carried timestamps outside the collection
+	// window (corrupted or clock-skewed past the edges).
+	OutOfWindow int
+	// Duplicates were exact repeats of an earlier (time, address,
+	// response) observation — replayed batches.
+	Duplicates int
+	// Conflicts were repeats of a (time, address) pair disagreeing on the
+	// response; the first observation wins.
+	Conflicts int
+	// Reordered counts records that arrived behind a later timestamp and
+	// had to be re-sorted (no records are dropped for this).
+	Reordered int
+}
+
+// Total returns the number of records removed from the stream.
+func (r SanitizeReport) Total() int { return r.OutOfWindow + r.Duplicates + r.Conflicts }
+
+// Merge accumulates another report into r.
+func (r *SanitizeReport) Merge(o SanitizeReport) {
+	r.OutOfWindow += o.OutOfWindow
+	r.Duplicates += o.Duplicates
+	r.Conflicts += o.Conflicts
+	r.Reordered += o.Reordered
+}
+
+// Sanitize cleans one observer's record stream in place, quarantining the
+// malformations a broken collection path introduces (§2.7's "occasionally
+// broken observers"): records with timestamps outside [start, end) are
+// dropped, out-of-order records are stably re-sorted by time, and repeats
+// of a (time, address) pair are removed — exact repeats count as
+// Duplicates, disagreeing repeats as Conflicts with the first observation
+// kept. The returned slice aliases records. A clean stream passes through
+// untouched with a zero report, so the pass is safe to run unconditionally.
+func Sanitize(records []probe.Record, start, end int64) ([]probe.Record, SanitizeReport) {
+	var rep SanitizeReport
+	kept := records[:0]
+	for _, r := range records {
+		if r.T < start || r.T >= end {
+			rep.OutOfWindow++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	for i := 1; i < len(kept); i++ {
+		if kept[i].T < kept[i-1].T {
+			rep.Reordered++
+		}
+	}
+	if rep.Reordered > 0 {
+		sort.SliceStable(kept, func(i, j int) bool { return kept[i].T < kept[j].T })
+	}
+	// Within each equal-timestamp run (one probing round), keep the first
+	// observation of each address.
+	out := kept[:0]
+	var seen, seenUp [256]bool
+	var touched []uint8
+	for i := 0; i < len(kept); {
+		j := i
+		for j < len(kept) && kept[j].T == kept[i].T {
+			j++
+		}
+		for _, r := range kept[i:j] {
+			if seen[r.Addr] {
+				if seenUp[r.Addr] == r.Up {
+					rep.Duplicates++
+				} else {
+					rep.Conflicts++
+				}
+				continue
+			}
+			seen[r.Addr] = true
+			seenUp[r.Addr] = r.Up
+			touched = append(touched, r.Addr)
+			out = append(out, r)
+		}
+		for _, a := range touched {
+			seen[a] = false
+		}
+		touched = touched[:0]
+		i = j
+	}
+	return out, rep
+}
+
 // recHeap implements a k-way merge over per-observer sorted record slices.
 type recHeap struct {
 	heads   []int
@@ -234,8 +320,20 @@ func MeanReplyRate(records []probe.Record) float64 {
 // bins take the first observed value. It returns nil when the series has
 // no points or the window is empty.
 func (s *Series) Resample(start, end, step int64) []float64 {
+	vals, _ := s.ResampleWithGaps(start, end, step, 0)
+	return vals
+}
+
+// ResampleWithGaps is Resample plus a per-bin confidence mask: conf[i] is
+// false when bin i holds no measurement and the nearest measured bin (in
+// either direction) is more than maxGap seconds away — the value was
+// carried forward or backfilled across a gap too long to trust, such as an
+// observer outage, rather than ordinary probe spacing. maxGap <= 0
+// disables gap marking (every bin is confident). Both returns are nil when
+// the series has no points in the window or the window is empty.
+func (s *Series) ResampleWithGaps(start, end, step, maxGap int64) ([]float64, []bool) {
 	if s.Len() == 0 || end <= start || step <= 0 {
-		return nil
+		return nil, nil
 	}
 	n := int((end - start + step - 1) / step)
 	sums := make([]float64, n)
@@ -261,12 +359,44 @@ func (s *Series) Resample(start, end, step int64) []float64 {
 		}
 	}
 	if first == -1 {
-		return nil
+		return nil, nil
 	}
 	for i := 0; i < first; i++ {
 		out[i] = out[first]
 	}
-	return out
+	conf := make([]bool, n)
+	if maxGap <= 0 {
+		for i := range conf {
+			conf[i] = true
+		}
+		return out, conf
+	}
+	// Distance (in bins) to the nearest measured bin on either side.
+	maxBins := int(maxGap / step)
+	prev := -1
+	dist := make([]int, n)
+	for i := 0; i < n; i++ {
+		if counts[i] > 0 {
+			prev = i
+			dist[i] = 0
+			continue
+		}
+		if prev < 0 {
+			dist[i] = n // no measurement yet; bounded by the next pass
+		} else {
+			dist[i] = i - prev
+		}
+	}
+	next := -1
+	for i := n - 1; i >= 0; i-- {
+		if counts[i] > 0 {
+			next = i
+		} else if next >= 0 && next-i < dist[i] {
+			dist[i] = next - i
+		}
+		conf[i] = dist[i] <= maxBins
+	}
+	return out, conf
 }
 
 // DailySwings returns, for each complete UTC day covered by the series,
@@ -350,9 +480,12 @@ func (h *ObserverHealth) Rates() []float64 {
 // Suspect returns the indices of observers whose reply rate sits more
 // than tol below the median of all observers — the signature of a broken
 // site or a badly congested upstream. Observers with no records are also
-// suspect.
+// suspect. With zero tracked observers it returns nil.
 func (h *ObserverHealth) Suspect(tol float64) []int {
 	rates := h.Rates()
+	if len(rates) == 0 {
+		return nil
+	}
 	sorted := append([]float64(nil), rates...)
 	sort.Float64s(sorted)
 	med := sorted[len(sorted)/2]

@@ -567,3 +567,200 @@ func TestObserverHealthEdgeCases(t *testing.T) {
 		t.Fatalf("wide tolerance should clear everyone: %v", got)
 	}
 }
+
+func TestRepair1LossEmptyAndSingle(t *testing.T) {
+	Repair1Loss(nil) // must not panic
+	recs := []probe.Record{rec(0, 1, false)}
+	Repair1Loss(recs)
+	if recs[0].Up {
+		t.Fatal("single observation must not be rewritten")
+	}
+}
+
+func TestRepair1LossBoundaryLosses(t *testing.T) {
+	// A loss at the very first or very last observation has no sandwich
+	// and must be left alone.
+	first := []probe.Record{rec(0, 4, false), rec(1, 4, true), rec(2, 4, true)}
+	Repair1Loss(first)
+	if first[0].Up {
+		t.Fatal("leading 011 must not be repaired")
+	}
+	last := []probe.Record{rec(0, 4, true), rec(1, 4, true), rec(2, 4, false)}
+	Repair1Loss(last)
+	if last[2].Up {
+		t.Fatal("trailing 110 must not be repaired")
+	}
+}
+
+func TestRepair1LossBackToBack101(t *testing.T) {
+	// 10101: each lone zero is sandwiched between responses. The repair
+	// scans left to right, so the first rewrite (1_1_1 -> 111_1) feeds the
+	// second and both zeros come back up.
+	recs := []probe.Record{
+		rec(0, 9, true), rec(1, 9, false), rec(2, 9, true),
+		rec(3, 9, false), rec(4, 9, true),
+	}
+	Repair1Loss(recs)
+	for i := range recs {
+		if !recs[i].Up {
+			t.Fatalf("10101 not fully repaired at index %d: %+v", i, recs)
+		}
+	}
+}
+
+func TestSuspectZeroObservers(t *testing.T) {
+	h := NewObserverHealth(0)
+	if got := h.Suspect(0.1); got != nil {
+		t.Fatalf("zero tracked observers should yield nil, got %v", got)
+	}
+}
+
+func TestSanitizeCleanStreamUntouched(t *testing.T) {
+	recs := []probe.Record{
+		rec(0, 1, true), rec(0, 2, false), rec(660, 1, true), rec(1320, 2, true),
+	}
+	orig := append([]probe.Record(nil), recs...)
+	out, rep := Sanitize(recs, 0, 2000)
+	if rep != (SanitizeReport{}) {
+		t.Fatalf("clean stream produced report %+v", rep)
+	}
+	if len(out) != len(orig) {
+		t.Fatalf("clean stream truncated: %d != %d", len(out), len(orig))
+	}
+	for i := range out {
+		if out[i] != orig[i] {
+			t.Fatalf("record %d changed: %+v != %+v", i, out[i], orig[i])
+		}
+	}
+}
+
+func TestSanitizeDropsOutOfWindow(t *testing.T) {
+	recs := []probe.Record{
+		rec(-5, 1, true), rec(10, 1, true), rec(2000, 1, false),
+	}
+	out, rep := Sanitize(recs, 0, 1000)
+	if rep.OutOfWindow != 2 || len(out) != 1 || out[0].T != 10 {
+		t.Fatalf("out=%v rep=%+v", out, rep)
+	}
+}
+
+func TestSanitizeSortsReorderedRecords(t *testing.T) {
+	recs := []probe.Record{
+		rec(1320, 1, true), rec(0, 1, true), rec(660, 2, false),
+	}
+	out, rep := Sanitize(recs, 0, 2000)
+	if rep.Reordered == 0 {
+		t.Fatalf("expected reordered count, got %+v", rep)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].T < out[i-1].T {
+			t.Fatalf("output not time-ordered: %v", out)
+		}
+	}
+	if len(out) != 3 {
+		t.Fatalf("reordering must not drop records: %v", out)
+	}
+}
+
+func TestSanitizeDedupsAndResolvesConflicts(t *testing.T) {
+	recs := []probe.Record{
+		rec(0, 1, true), rec(0, 2, false),
+		rec(0, 1, true), // exact duplicate
+		rec(0, 2, true), // conflicting repeat: first (false) wins
+		rec(660, 1, true),
+	}
+	out, rep := Sanitize(recs, 0, 2000)
+	if rep.Duplicates != 1 || rep.Conflicts != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	if len(out) != 3 {
+		t.Fatalf("expected 3 records, got %v", out)
+	}
+	if out[1].Addr != 2 || out[1].Up {
+		t.Fatalf("conflict not resolved to first observation: %+v", out[1])
+	}
+}
+
+func TestSanitizeReportTotals(t *testing.T) {
+	var a SanitizeReport
+	a.Merge(SanitizeReport{OutOfWindow: 1, Duplicates: 2, Conflicts: 3, Reordered: 4})
+	a.Merge(SanitizeReport{OutOfWindow: 1})
+	if a.Total() != 7 || a.Reordered != 4 {
+		t.Fatalf("merge/total wrong: %+v", a)
+	}
+}
+
+func TestResampleWithGapsMarksLongGaps(t *testing.T) {
+	// Points every hour for 3 h, then a 10-h hole, then 2 more hours.
+	s := &Series{}
+	for _, h := range []int64{0, 1, 2, 13, 14} {
+		s.Times = append(s.Times, h*3600)
+		s.Counts = append(s.Counts, float64(h))
+	}
+	vals, conf := s.ResampleWithGaps(0, 15*3600, 3600, 2*3600)
+	if vals == nil || len(conf) != len(vals) {
+		t.Fatalf("vals=%v conf=%v", vals, conf)
+	}
+	for i := 0; i <= 2; i++ {
+		if !conf[i] {
+			t.Errorf("measured bin %d marked low-confidence", i)
+		}
+	}
+	// Bin 7 sits 5 h from bin 2 and 6 h from bin 13: beyond maxGap.
+	if conf[7] {
+		t.Error("mid-gap bin should be low-confidence")
+	}
+	// Bin 4 is 2 h from the last measured bin: within maxGap.
+	if !conf[4] {
+		t.Error("near-gap-edge bin should stay confident")
+	}
+	// Carried value survives: bin 7 carries bin 2's value.
+	if vals[7] != 2 {
+		t.Errorf("carry-forward broken: vals[7] = %v", vals[7])
+	}
+}
+
+func TestResampleWithGapsLeadingGap(t *testing.T) {
+	s := &Series{Times: []int64{10 * 3600}, Counts: []float64{5}}
+	vals, conf := s.ResampleWithGaps(0, 12*3600, 3600, 3*3600)
+	if vals == nil {
+		t.Fatal("expected values")
+	}
+	if conf[0] {
+		t.Error("backfilled bin 10 h before the first measurement should be low-confidence")
+	}
+	if !conf[8] {
+		t.Error("backfilled bin 2 h before the first measurement should be confident")
+	}
+	if vals[0] != 5 {
+		t.Errorf("leading backfill broken: %v", vals[0])
+	}
+}
+
+func TestResampleWithGapsDisabled(t *testing.T) {
+	s := &Series{Times: []int64{0, 20 * 3600}, Counts: []float64{1, 2}}
+	_, conf := s.ResampleWithGaps(0, 24*3600, 3600, 0)
+	for i, ok := range conf {
+		if !ok {
+			t.Fatalf("maxGap<=0 must disable marking, bin %d flagged", i)
+		}
+	}
+}
+
+func TestResampleMatchesResampleWithGaps(t *testing.T) {
+	s := &Series{}
+	for h := int64(0); h < 48; h += 3 {
+		s.Times = append(s.Times, h*3600)
+		s.Counts = append(s.Counts, float64(h%7))
+	}
+	a := s.Resample(0, 48*3600, 3600)
+	b, _ := s.ResampleWithGaps(0, 48*3600, 3600, 6*3600)
+	if len(a) != len(b) {
+		t.Fatalf("length mismatch %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("values diverge at %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
