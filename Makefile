@@ -1,6 +1,7 @@
 GO ?= go
+FSCK_DIR ?= /tmp/diurnal-fsck-store
 
-.PHONY: build test tier1 vet race experiments bench
+.PHONY: build test tier1 vet race race-crashsafe fsck experiments bench
 
 build:
 	$(GO) build ./...
@@ -14,9 +15,23 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# tier1 is the gate every change must pass: clean build, vet, and the full
-# test suite under the race detector.
-tier1: build vet race
+# race-crashsafe focuses the race detector on the packages with the most
+# cross-goroutine state: the pipeline/checkpoint machinery and the store.
+race-crashsafe:
+	$(GO) test -race ./internal/core/... ./internal/dataset/...
+
+# tier1 is the gate every change must pass: clean build, vet, the full
+# test suite, and the crash-safety packages under the race detector.
+tier1: build vet test race-crashsafe
+
+# fsck archives a small dataset with diurnalscan -save, then runs the
+# store integrity check (-verify) over it — the end-to-end durability
+# path: atomic log writes, CRC32C trailers, verification.
+fsck: build
+	rm -rf $(FSCK_DIR)
+	$(GO) run ./cmd/diurnalscan -blocks 24 -end 2020-01-29 -save $(FSCK_DIR) >/dev/null
+	$(GO) run ./cmd/diurnalscan -verify $(FSCK_DIR)
+	rm -rf $(FSCK_DIR)
 
 experiments:
 	$(GO) run ./cmd/experiments

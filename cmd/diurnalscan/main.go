@@ -7,21 +7,33 @@
 //	diurnalscan [-blocks N] [-seed S] [-observers K]
 //	            [-start YYYY-MM-DD] [-end YYYY-MM-DD] [-calendar 2020|2023|none]
 //	            [-cells N] [-days N] [-region CODE]
+//	            [-resume FILE] [-timeout DUR] [-verify DIR]
 //
 // Example: the first Covid quarter at moderate scale.
 //
 //	diurnalscan -blocks 2000 -start 2020-01-01 -end 2020-04-22
+//
+// Crash safety: with -resume FILE every finished block is journaled to
+// FILE; a killed run (Ctrl-C, OOM, power) rerun with the same flags and
+// the same -resume FILE picks up where it stopped and produces results
+// identical to an uninterrupted run. -verify DIR runs an fsck-style
+// integrity check over an archived dataset store and exits non-zero if
+// any observation log is corrupt.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"github.com/diurnalnet/diurnal"
 	"github.com/diurnalnet/diurnal/internal/changepoint"
+	"github.com/diurnalnet/diurnal/internal/dataset"
 	"github.com/diurnalnet/diurnal/internal/render"
 )
 
@@ -45,7 +57,14 @@ func main() {
 	region := flag.String("region", "", "report only blocks of this region code (e.g. CN-WUH)")
 	saveDir := flag.String("save", "", "also archive raw observations into this directory")
 	reportPath := flag.String("report", "", "write a markdown report to this file")
+	resumePath := flag.String("resume", "", "journal finished blocks to this file and resume from it after a crash")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (e.g. 10m); finished blocks stay journaled with -resume")
+	verifyDir := flag.String("verify", "", "fsck an archived dataset store at this directory and exit")
 	flag.Parse()
+
+	if *verifyDir != "" {
+		os.Exit(verifyStore(*verifyDir))
+	}
 
 	start, err := parseDate(*startStr)
 	if err != nil {
@@ -89,11 +108,26 @@ func main() {
 	} else {
 		cfg.BaselineEnd = end
 	}
+	// SIGINT/SIGTERM cancel the run instead of killing it mid-write; with
+	// -resume, finished blocks are already journaled when we exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	began := time.Now()
-	report, err := world.Run(cfg)
+	report, err := world.RunContext(ctx, cfg, diurnal.RunOptions{CheckpointPath: *resumePath})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		if *resumePath != "" && ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "run interrupted; rerun with -resume %s to continue\n", *resumePath)
+		}
 		os.Exit(1)
+	}
+	if n := report.Report.ResumedBlocks; n > 0 {
+		fmt.Printf("resumed %d finished blocks from %s\n", n, *resumePath)
 	}
 	if *saveDir != "" {
 		if err := saveObservations(*saveDir, world, start, end); err != nil {
@@ -162,6 +196,27 @@ func main() {
 				time.Unix(p.day*diurnal.SecondsPerDay, 0).UTC().Format("2006-01-02"), 100*p.frac)
 		}
 	}
+}
+
+// verifyStore fscks an archived dataset store and returns the process
+// exit code: 0 when every observation log checks out, 1 when corruption
+// was found, 2 when the directory is not a store.
+func verifyStore(dir string) int {
+	st, err := dataset.OpenStore(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	rep, err := st.Verify()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Print(rep)
+	if !rep.Clean() {
+		return 1
+	}
+	return 0
 }
 
 // reportRegion prints per-block detections for one region.

@@ -66,6 +66,7 @@ func catalog() []experiment {
 		{"ablation-persistence", "persistence-rule sweep (§2.4)", wrap(experiments.AblationPersistence)},
 		{"ablation-outagefilter", "pair filter vs belief-based outage masking (§2.6)", wrap(experiments.AblationOutageFilter)},
 		{"robustness", "detection accuracy under injected measurement faults", wrap(experiments.Robustness)},
+		{"crashresume", "kill-and-resume produces identical results (checkpoint journal)", wrap(experiments.CrashResume)},
 	}
 }
 

@@ -34,6 +34,7 @@
 package diurnal
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -193,10 +194,48 @@ func (w *World) BlocksInRegion(code string) []int {
 	return out
 }
 
+// RunOptions tunes a crash-safe world run. The zero value matches the
+// plain Run behavior: no checkpointing, no per-block deadline, default
+// transient-error retries.
+type RunOptions struct {
+	// CheckpointPath, when non-empty, journals completed blocks to this
+	// file; rerunning with the same path resumes after a crash, skipping
+	// every journaled block. The journal is bound to the (config, world)
+	// pair and refuses to resume a different run.
+	CheckpointPath string
+	// BlockTimeout bounds one block's probe-and-analyze attempt (zero
+	// disables per-block deadlines).
+	BlockTimeout time.Duration
+	// MaxRetries caps extra attempts after a transient collection
+	// failure: zero means the default of 2, negative disables retries.
+	MaxRetries int
+}
+
 // Run probes and analyzes the whole world under cfg.
 func (w *World) Run(cfg Config) (*Report, error) {
-	p := &core.Pipeline{Config: cfg, Engine: w.engine}
-	return p.Run(w.blocks)
+	return w.RunContext(context.Background(), cfg, RunOptions{})
+}
+
+// RunContext is Run with cancellation and crash-safety options. When ctx
+// is canceled the partial result is returned with ctx's error; if a
+// checkpoint path is set, the finished blocks are already journaled and a
+// later RunContext with the same path resumes where this one stopped.
+func (w *World) RunContext(ctx context.Context, cfg Config, opts RunOptions) (*Report, error) {
+	p := &core.Pipeline{
+		Config:       cfg,
+		Engine:       w.engine,
+		BlockTimeout: opts.BlockTimeout,
+		MaxRetries:   opts.MaxRetries,
+	}
+	if opts.CheckpointPath != "" {
+		cp, err := core.OpenCheckpoint(opts.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		defer cp.Close()
+		p.Checkpoint = cp
+	}
+	return p.Run(ctx, w.blocks)
 }
 
 // AnalyzeBlock runs the pipeline on a single simulated block.

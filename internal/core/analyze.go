@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -533,6 +534,13 @@ var scratchPool = sync.Pool{New: func() interface{} { return &scratch{} }}
 // simulated block. eng is any Prober (*probe.Engine, or a faults.Engine
 // wrapping one).
 func (cfg Config) AnalyzeBlock(eng Prober, b *netsim.Block) (*BlockAnalysis, error) {
+	return cfg.AnalyzeBlockContext(context.Background(), eng, b)
+}
+
+// AnalyzeBlockContext is AnalyzeBlock with cancellation: ctx is passed to
+// the prober's collection loop, so a canceled or expired context aborts
+// the probe promptly and surfaces ctx's error.
+func (cfg Config) AnalyzeBlockContext(ctx context.Context, eng Prober, b *netsim.Block) (*BlockAnalysis, error) {
 	c := cfg.withDefaults()
 	if err := c.validate(); err != nil {
 		return nil, err
@@ -544,7 +552,7 @@ func (cfg Config) AnalyzeBlock(eng Prober, b *netsim.Block) (*BlockAnalysis, err
 	sc := scratchPool.Get().(*scratch)
 	defer scratchPool.Put(sc)
 	var err error
-	sc.perObs, err = eng.CollectInto(b, c.AnalysisStart, c.AnalysisEnd, sc.perObs)
+	sc.perObs, err = eng.CollectInto(ctx, b, c.AnalysisStart, c.AnalysisEnd, sc.perObs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,335 @@
+package core
+
+// Checkpointing makes world runs crash-safe: every completed block
+// outcome is journaled to an append-only file, so a killed run resumes by
+// replaying the journal and analyzing only the blocks it never finished.
+// The journal is framed (length-prefix + CRC32C per frame) and
+// self-describing; a torn tail from a crash mid-append is truncated on
+// open, and a header frame binds the journal to one (config, world) pair
+// so a stale file can never leak foreign results into a run.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+
+	"github.com/diurnalnet/diurnal/internal/dataset"
+	"github.com/diurnalnet/diurnal/internal/geo"
+	"github.com/diurnalnet/diurnal/internal/netsim"
+)
+
+var checkpointCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// maxFrame bounds a single journal frame; a length prefix beyond it is
+// treated as tail corruption, not an allocation request.
+const maxFrame = 1 << 28
+
+// Frame payload tags.
+const (
+	frameHeader = 'H'
+	frameBlock  = 'B'
+)
+
+// checkpointHeader binds a journal to one run's configuration and world.
+type checkpointHeader struct {
+	Signature []byte
+}
+
+// blockMeta is the gob-encoded head of a block frame; the outcome's
+// analysis follows it in the BlockAnalysis wire format (see codec.go),
+// written directly so the bulk series bytes pass through exactly one
+// buffer on their way to the journal.
+type blockMeta struct {
+	Index       int
+	ID          netsim.BlockID
+	Place       geo.Placement
+	HasAnalysis bool
+}
+
+type checkpointKey struct {
+	Index int
+	ID    netsim.BlockID
+}
+
+// Checkpointer journals completed BlockOutcomes so Pipeline.Run can skip
+// them after a crash. Open an existing journal to resume: prior entries
+// are loaded (tolerating a torn final frame), and new completions append
+// behind them. Safe for concurrent Append from pipeline workers.
+type Checkpointer struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	sig      []byte
+	prior    map[checkpointKey]*BlockOutcome
+	appended int
+}
+
+// OpenCheckpoint opens (or creates) a checkpoint journal. Existing frames
+// are replayed into memory; an incomplete or corrupt tail — the signature
+// of a crash mid-append — is truncated so the journal is append-clean.
+func OpenCheckpoint(path string) (*Checkpointer, error) {
+	c := &Checkpointer{path: path, prior: map[checkpointKey]*BlockOutcome{}}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("core: reading checkpoint %s: %w", path, err)
+	}
+	good := 0
+scan:
+	for off := 0; ; {
+		if off+4 > len(data) {
+			break
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		if n == 0 || n > maxFrame {
+			break
+		}
+		end := off + 4 + int(n) + 4
+		if end > len(data) {
+			break
+		}
+		payload := data[off+4 : off+4+int(n)]
+		stored := binary.LittleEndian.Uint32(data[off+4+int(n):])
+		if crc32.Checksum(payload, checkpointCRC) != stored {
+			break
+		}
+		switch payload[0] {
+		case frameHeader:
+			var h checkpointHeader
+			if err := gob.NewDecoder(bytes.NewReader(payload[1:])).Decode(&h); err != nil {
+				break scan
+			}
+			c.sig = h.Signature
+		case frameBlock:
+			index, o, err := decodeBlockFrame(payload[1:])
+			if err != nil {
+				break scan
+			}
+			c.prior[checkpointKey{Index: index, ID: o.ID}] = o
+		default:
+			break scan
+		}
+		good, off = end, end
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening checkpoint %s: %w", path, err)
+	}
+	if good < len(data) {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("core: truncating torn checkpoint tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(good), 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	c.f = f
+	return c, nil
+}
+
+// Path returns the journal's file path.
+func (c *Checkpointer) Path() string { return c.path }
+
+// Entries returns how many block outcomes the journal holds (prior plus
+// appended this session).
+func (c *Checkpointer) Entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.prior) + c.appended
+}
+
+// Lookup returns the journaled outcome for a block, if any.
+func (c *Checkpointer) Lookup(index int, id netsim.BlockID) (*BlockOutcome, bool) {
+	o, ok := c.prior[checkpointKey{Index: index, ID: id}]
+	return o, ok
+}
+
+// ensureSignature binds the journal to a run signature: a fresh journal
+// records it in a header frame; an existing journal must match, so
+// resuming with a different config or world fails loudly instead of
+// merging foreign results.
+func (c *Checkpointer) ensureSignature(sig []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sig != nil {
+		if !bytes.Equal(c.sig, sig) {
+			return fmt.Errorf("core: checkpoint %s belongs to a different run (config or world changed); delete it to start over", c.path)
+		}
+		return nil
+	}
+	if err := c.writeFrame(frameHeader, checkpointHeader{Signature: sig}); err != nil {
+		return err
+	}
+	c.sig = sig
+	return nil
+}
+
+// Append journals one completed block outcome. The frame is buffered and
+// written with a single write() — durable across process death as soon as
+// the call returns; Close syncs for durability across power loss. Encoding
+// happens outside the journal lock, so concurrent workers serialize only
+// on the write itself, not on the encoder.
+func (c *Checkpointer) Append(index int, o BlockOutcome) error {
+	frame, err := encodeBlockFrame(index, o)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.f.Write(frame); err != nil {
+		return fmt.Errorf("core: appending checkpoint frame: %w", err)
+	}
+	c.appended++
+	return nil
+}
+
+// encodeBlockFrame renders one journaled outcome as a complete frame. The
+// buffer is sized exactly up front, so the analysis bytes are laid down
+// once instead of shuttling through nested encoders.
+func encodeBlockFrame(index int, o BlockOutcome) ([]byte, error) {
+	var meta bytes.Buffer
+	err := gob.NewEncoder(&meta).Encode(&blockMeta{
+		Index: index, ID: o.ID, Place: o.Place, HasAnalysis: o.Analysis != nil,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding checkpoint frame: %w", err)
+	}
+	var blob []byte
+	wireLen := 0
+	if o.Analysis != nil {
+		if blob, err = o.Analysis.blobBytes(); err != nil {
+			return nil, err
+		}
+		wireLen = 4 + len(blob) + o.Analysis.sectionsSize()
+	}
+	payloadLen := 1 + 4 + meta.Len() + wireLen
+	frame := make([]byte, 0, 4+payloadLen+4)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(payloadLen))
+	frame = append(frame, frameBlock)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(meta.Len()))
+	frame = append(frame, meta.Bytes()...)
+	if o.Analysis != nil {
+		frame = binary.LittleEndian.AppendUint32(frame, uint32(len(blob)))
+		frame = append(frame, blob...)
+		frame = o.Analysis.appendSections(frame)
+	}
+	return binary.LittleEndian.AppendUint32(frame, crc32.Checksum(frame[4:], checkpointCRC)), nil
+}
+
+// decodeBlockFrame is the inverse of encodeBlockFrame, minus the tag byte
+// and CRC already handled by the frame scan.
+func decodeBlockFrame(data []byte) (int, *BlockOutcome, error) {
+	if len(data) < 4 {
+		return 0, nil, fmt.Errorf("core: block frame too short")
+	}
+	metaLen := int(binary.LittleEndian.Uint32(data))
+	if 4+metaLen > len(data) {
+		return 0, nil, fmt.Errorf("core: block frame meta of %d bytes truncated", metaLen)
+	}
+	var m blockMeta
+	if err := gob.NewDecoder(bytes.NewReader(data[4 : 4+metaLen])).Decode(&m); err != nil {
+		return 0, nil, fmt.Errorf("core: decoding checkpoint frame: %w", err)
+	}
+	o := &BlockOutcome{ID: m.ID, Place: m.Place}
+	rest := data[4+metaLen:]
+	if m.HasAnalysis {
+		a := &BlockAnalysis{}
+		if err := a.GobDecode(rest); err != nil {
+			return 0, nil, err
+		}
+		o.Analysis = a
+	} else if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("core: %d trailing bytes after block frame", len(rest))
+	}
+	return m.Index, o, nil
+}
+
+// writeFrame encodes v behind tag and appends one framed record. Caller
+// holds c.mu.
+func (c *Checkpointer) writeFrame(tag byte, v any) error {
+	frame, err := encodeFrame(tag, v)
+	if err != nil {
+		return err
+	}
+	if _, err := c.f.Write(frame); err != nil {
+		return fmt.Errorf("core: appending checkpoint frame: %w", err)
+	}
+	return nil
+}
+
+// encodeFrame renders one self-contained journal frame: length prefix,
+// tagged gob payload, CRC32C trailer. Frames carry their own gob type
+// descriptors so each decodes independently during the open-time scan.
+func encodeFrame(tag byte, v any) ([]byte, error) {
+	var payload bytes.Buffer
+	payload.WriteByte(tag)
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return nil, fmt.Errorf("core: encoding checkpoint frame: %w", err)
+	}
+	frame := make([]byte, 0, 8+payload.Len())
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(payload.Len()))
+	frame = append(frame, payload.Bytes()...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload.Bytes(), checkpointCRC))
+	return frame, nil
+}
+
+// Close syncs and closes the journal.
+func (c *Checkpointer) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Sync()
+	if cerr := c.f.Close(); err == nil {
+		err = cerr
+	}
+	c.f = nil
+	return err
+}
+
+// runSignature digests the analysis config and world identity; it decides
+// whether a checkpoint journal may be resumed.
+func runSignature(cfg Config, world []*dataset.WorldBlock) []byte {
+	h := sha256.New()
+	enc := gob.NewEncoder(h)
+	// Config is plain data (no funcs), so gob gives a stable digest.
+	_ = enc.Encode(cfg)
+	ids := make([]netsim.BlockID, len(world))
+	for i, wb := range world {
+		ids[i] = wb.ID
+	}
+	_ = enc.Encode(ids)
+	return h.Sum(nil)
+}
+
+// Fingerprint digests everything the run computed per block (outcomes in
+// world order, block errors, analyzed count) into a hex string. Two runs
+// of the same world and config — interrupted-and-resumed or not — must
+// produce equal fingerprints; the kill-and-resume experiment asserts
+// exactly that.
+func (r *WorldResult) Fingerprint() (string, error) {
+	h := sha256.New()
+	enc := gob.NewEncoder(h)
+	if err := enc.Encode(r.Blocks); err != nil {
+		return "", fmt.Errorf("core: fingerprinting blocks: %w", err)
+	}
+	errs := make([]string, 0, len(r.Report.BlockErrors))
+	for _, e := range r.Report.BlockErrors {
+		errs = append(errs, e.Error())
+	}
+	if err := enc.Encode(errs); err != nil {
+		return "", err
+	}
+	if err := enc.Encode(r.Report.AnalyzedBlocks); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

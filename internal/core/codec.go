@@ -1,0 +1,221 @@
+package core
+
+// BlockAnalysis dominates a checkpoint frame, and most of its bytes sit
+// in six flat numeric slices (the reconstructed series and the resampled
+// decomposition). Encoding those through gob's reflection path costs more
+// CPU than the journaling budget allows, so BlockAnalysis implements
+// GobEncoder/GobDecoder itself: the small structured fields still ride a
+// nested gob blob, while the bulk slices are written as raw little-endian
+// words. The format is deterministic, which WorldResult.Fingerprint
+// depends on.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+
+	"github.com/diurnalnet/diurnal/internal/blockclass"
+	"github.com/diurnalnet/diurnal/internal/outage"
+	"github.com/diurnalnet/diurnal/internal/reconstruct"
+)
+
+// analysisWire carries every BlockAnalysis field that is cheap to gob;
+// the six bulk slices follow it as raw sections.
+type analysisWire struct {
+	Class          blockclass.Result
+	Changes        []Change
+	OutagePairs    []Change
+	LowConfChanges []Change
+	Confidence     []bool
+	Sanitize       reconstruct.SanitizeReport
+	Outages        []outage.Interval
+	SampleStart    int64
+	SampleStep     int64
+	HasSeries      bool
+}
+
+// blobBytes gob-encodes the structured fields. The result is small — the
+// bulk slices travel as raw sections instead.
+func (a *BlockAnalysis) blobBytes() ([]byte, error) {
+	w := analysisWire{
+		Class:          a.Class,
+		Changes:        a.Changes,
+		OutagePairs:    a.OutagePairs,
+		LowConfChanges: a.LowConfChanges,
+		Confidence:     a.Confidence,
+		Sanitize:       a.Sanitize,
+		Outages:        a.Outages,
+		SampleStart:    a.SampleStart,
+		SampleStep:     a.SampleStep,
+		HasSeries:      a.Series != nil,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, fmt.Errorf("core: encoding analysis: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// sectionsSize returns the exact encoded size of the raw slice sections,
+// so callers can allocate a frame buffer once.
+func (a *BlockAnalysis) sectionsSize() int {
+	size := 0
+	add := func(n int) { size += 4 + 8*n }
+	if a.Series != nil {
+		add(len(a.Series.Times))
+		add(len(a.Series.Counts))
+	}
+	add(len(a.Resampled))
+	add(len(a.Trend))
+	add(len(a.Seasonal))
+	add(len(a.Normalized))
+	return size
+}
+
+// appendSections appends the six bulk slices as raw sections.
+func (a *BlockAnalysis) appendSections(out []byte) []byte {
+	if a.Series != nil {
+		out = appendInt64s(out, a.Series.Times)
+		out = appendFloat64s(out, a.Series.Counts)
+	}
+	out = appendFloat64s(out, a.Resampled)
+	out = appendFloat64s(out, a.Trend)
+	out = appendFloat64s(out, a.Seasonal)
+	out = appendFloat64s(out, a.Normalized)
+	return out
+}
+
+// GobEncode renders the analysis as a length-prefixed gob blob of the
+// structured fields followed by raw slice sections.
+func (a *BlockAnalysis) GobEncode() ([]byte, error) {
+	blob, err := a.blobBytes()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 4+len(blob)+a.sectionsSize())
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(blob)))
+	out = append(out, blob...)
+	return a.appendSections(out), nil
+}
+
+// GobDecode is the inverse of GobEncode.
+func (a *BlockAnalysis) GobDecode(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("core: analysis frame too short")
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	if 4+n > len(data) {
+		return fmt.Errorf("core: analysis blob length %d exceeds frame", n)
+	}
+	var w analysisWire
+	if err := gob.NewDecoder(bytes.NewReader(data[4 : 4+n])).Decode(&w); err != nil {
+		return fmt.Errorf("core: decoding analysis: %w", err)
+	}
+	*a = BlockAnalysis{
+		Class:          w.Class,
+		Changes:        w.Changes,
+		OutagePairs:    w.OutagePairs,
+		LowConfChanges: w.LowConfChanges,
+		Confidence:     w.Confidence,
+		Sanitize:       w.Sanitize,
+		Outages:        w.Outages,
+		SampleStart:    w.SampleStart,
+		SampleStep:     w.SampleStep,
+	}
+	rest := data[4+n:]
+	var err error
+	if w.HasSeries {
+		s := &reconstruct.Series{}
+		if s.Times, rest, err = readInt64s(rest); err != nil {
+			return err
+		}
+		if s.Counts, rest, err = readFloat64s(rest); err != nil {
+			return err
+		}
+		a.Series = s
+	}
+	if a.Resampled, rest, err = readFloat64s(rest); err != nil {
+		return err
+	}
+	if a.Trend, rest, err = readFloat64s(rest); err != nil {
+		return err
+	}
+	if a.Seasonal, rest, err = readFloat64s(rest); err != nil {
+		return err
+	}
+	if a.Normalized, rest, err = readFloat64s(rest); err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("core: %d trailing bytes after analysis", len(rest))
+	}
+	return nil
+}
+
+// Raw slice sections are a u32 count followed by 8-byte little-endian
+// words. The count is shifted by one so nil and empty slices survive a
+// round trip distinctly (0 = nil, n+1 = slice of n values); fingerprints
+// of fresh and resumed runs must not differ on that distinction.
+
+func appendFloat64s(b []byte, xs []float64) []byte {
+	if xs == nil {
+		return binary.LittleEndian.AppendUint32(b, 0)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(xs))+1)
+	for _, x := range xs {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(x))
+	}
+	return b
+}
+
+func appendInt64s(b []byte, xs []int64) []byte {
+	if xs == nil {
+		return binary.LittleEndian.AppendUint32(b, 0)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(xs))+1)
+	for _, x := range xs {
+		b = binary.LittleEndian.AppendUint64(b, uint64(x))
+	}
+	return b
+}
+
+func readSection(b []byte) (n int, rest []byte, err error) {
+	if len(b) < 4 {
+		return 0, nil, fmt.Errorf("core: truncated analysis section")
+	}
+	c := binary.LittleEndian.Uint32(b)
+	if c == 0 {
+		return -1, b[4:], nil
+	}
+	n = int(c - 1)
+	if len(b) < 4+8*n {
+		return 0, nil, fmt.Errorf("core: analysis section of %d words truncated", n)
+	}
+	return n, b[4:], nil
+}
+
+func readFloat64s(b []byte) ([]float64, []byte, error) {
+	n, rest, err := readSection(b)
+	if err != nil || n < 0 {
+		return nil, rest, err
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i:]))
+	}
+	return xs, rest[8*n:], nil
+}
+
+func readInt64s(b []byte) ([]int64, []byte, error) {
+	n, rest, err := readSection(b)
+	if err != nil || n < 0 {
+		return nil, rest, err
+	}
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(binary.LittleEndian.Uint64(rest[8*i:]))
+	}
+	return xs, rest[8*n:], nil
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"github.com/diurnalnet/diurnal/internal/reconstruct"
+)
+
+// TestAnalysisCodecRoundTrip drives the custom BlockAnalysis gob codec
+// through the same path checkpoint frames use and requires a perfect
+// round trip, including the nil-vs-empty slice distinction the resume
+// fingerprint depends on.
+func TestAnalysisCodecRoundTrip(t *testing.T) {
+	cases := map[string]*BlockAnalysis{
+		"empty": {Series: &reconstruct.Series{}},
+		"nil-series-nil-slices": {
+			SampleStart: 100, SampleStep: 3600,
+		},
+		"full": {
+			Series: &reconstruct.Series{
+				Times:  []int64{0, 660, 1320},
+				Counts: []float64{3, 4.5, 2},
+			},
+			Resampled:   []float64{1, 2, 3},
+			Trend:       []float64{1.5, 2.5},
+			Seasonal:    []float64{-0.5, 0.5},
+			Normalized:  []float64{0},
+			Changes:     []Change{{Start: 9, End: 11, Amplitude: -2.5, RawAmplitude: -7}},
+			Confidence:  []bool{true, false, true},
+			SampleStart: 1577836800, SampleStep: 3600,
+		},
+		"empty-not-nil": {
+			Resampled: []float64{},
+		},
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+				t.Fatal(err)
+			}
+			out := &BlockAnalysis{}
+			if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(in, out) {
+				t.Fatalf("round trip mutated the analysis:\n in=%+v\nout=%+v", in, out)
+			}
+		})
+	}
+}
+
+// TestAnalysisCodecRejectsDamage feeds the decoder truncated and trailing
+// bytes; both must fail loudly rather than yield a partial analysis.
+func TestAnalysisCodecRejectsDamage(t *testing.T) {
+	in := &BlockAnalysis{
+		Series: &reconstruct.Series{Times: []int64{1, 2}, Counts: []float64{5, 6}},
+		Trend:  []float64{1, 2, 3},
+	}
+	data, err := in.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := new(BlockAnalysis).GobDecode(data[:len(data)-3]); err == nil {
+		t.Fatal("truncated analysis decoded cleanly")
+	}
+	if err := new(BlockAnalysis).GobDecode(append(data, 0xAB)); err == nil {
+		t.Fatal("trailing garbage decoded cleanly")
+	}
+}

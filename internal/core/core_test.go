@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -221,7 +222,7 @@ func TestPipelineRunSmallWorld(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := &Pipeline{Config: q1Config(), Engine: engine4()}
-	res, err := p.Run(world)
+	res, err := p.Run(context.Background(), world)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +259,7 @@ func TestPipelineDeterministicAcrossWorkerCounts(t *testing.T) {
 	cfg := DefaultConfig(q1Start, netsim.Date(2020, time.February, 12))
 	run := func(workers int) *WorldResult {
 		p := &Pipeline{Config: cfg, Engine: engine4(), Workers: workers}
-		res, err := p.Run(world)
+		res, err := p.Run(context.Background(), world)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -285,7 +286,7 @@ func TestCellAndContinentSeries(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := &Pipeline{Config: q1Config(), Engine: engine4()}
-	res, err := p.Run(world)
+	res, err := p.Run(context.Background(), world)
 	if err != nil {
 		t.Fatal(err)
 	}

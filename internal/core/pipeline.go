@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/diurnalnet/diurnal/internal/changepoint"
 	"github.com/diurnalnet/diurnal/internal/dataset"
@@ -16,12 +19,13 @@ import (
 
 // Prober abstracts the probing engine seen by the analysis pipeline.
 // *probe.Engine satisfies it directly; internal/faults.Engine wraps one to
-// inject measurement-plane failures without the pipeline noticing.
+// inject measurement-plane failures without the pipeline noticing, and
+// dataset.ReplayProber serves archived observations instead of probing.
 type Prober interface {
 	// CollectInto gathers per-observer record streams for one block over
-	// [start, end), reusing bufs (which may be nil). See
-	// probe.Engine.CollectInto for the buffer contract.
-	CollectInto(b *netsim.Block, start, end int64, bufs [][]probe.Record) ([][]probe.Record, error)
+	// [start, end), reusing bufs (which may be nil), and honors ctx
+	// cancellation. See probe.Engine.CollectInto for the buffer contract.
+	CollectInto(ctx context.Context, b *netsim.Block, start, end int64, bufs [][]probe.Record) ([][]probe.Record, error)
 }
 
 // BlockOutcome pairs a block's pipeline result with its placement.
@@ -64,6 +68,12 @@ type RunReport struct {
 	ObserverRates []float64
 	// AnalyzedBlocks counts blocks whose analysis completed.
 	AnalyzedBlocks int
+	// ResumedBlocks counts blocks restored from the checkpoint journal
+	// instead of being re-analyzed (zero without a checkpoint).
+	ResumedBlocks int
+	// RetriedBlocks counts blocks that needed at least one retry after a
+	// transient collection failure.
+	RetriedBlocks int
 }
 
 // WorldResult aggregates a whole-world pipeline run.
@@ -103,19 +113,52 @@ type Pipeline struct {
 	// HealthTol is the reply-rate tolerance below the median before an
 	// observer is suspect (default 0.1).
 	HealthTol float64
+	// BlockTimeout bounds one block's probe-and-analyze attempt; a block
+	// that blows its deadline becomes a BlockError while the run
+	// continues. Zero disables per-block deadlines.
+	BlockTimeout time.Duration
+	// MaxRetries is how many extra attempts a block gets when collection
+	// fails with a transient error (see IsTransient). Zero means the
+	// default of 2; negative disables retries. Non-transient errors are
+	// never retried.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// attempt (default 10ms). Backoff waits honor ctx cancellation.
+	RetryBackoff time.Duration
+	// Checkpoint, when non-nil, journals every completed block outcome
+	// and, on resume, restores journaled blocks instead of re-analyzing
+	// them. See OpenCheckpoint.
+	Checkpoint *Checkpointer
 }
 
 // Run probes and analyzes every block, in parallel, and aggregates the
-// results. The output is deterministic for a fixed world and config.
+// results. The output is deterministic for a fixed world and config —
+// including across a kill-and-resume cycle through Checkpoint.
 //
-// Per-block failures do not abort the run: they are accumulated into the
-// result's Report and the remaining blocks are analyzed, so a partial
-// WorldResult covering every healthy block is returned. The error is
-// non-nil only when the configuration is invalid or every block failed.
-func (p *Pipeline) Run(world []*dataset.WorldBlock) (*WorldResult, error) {
+// Per-block failures do not abort the run: worker panics and analysis
+// errors are accumulated into the result's Report and the remaining
+// blocks are analyzed, so a partial WorldResult covering every healthy
+// block is returned. The error is non-nil only when the configuration is
+// invalid, the checkpoint journal belongs to a different run, ctx was
+// canceled, or every block failed.
+//
+// Cancellation: when ctx is done the run stops promptly (mid-block via
+// the prober's ctx, between blocks via the dispatch loop) and returns the
+// partial result with ctx's error. Blocks completed before the
+// cancellation are already journaled if a Checkpoint is attached, so a
+// later Run with the same checkpoint resumes where this one died.
+func (p *Pipeline) Run(ctx context.Context, world []*dataset.WorldBlock) (*WorldResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg := p.Config.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if p.Checkpoint != nil {
+		if err := p.Checkpoint.ensureSignature(runSignature(cfg, world)); err != nil {
+			return nil, err
+		}
 	}
 	workers := p.Workers
 	if workers <= 0 {
@@ -132,7 +175,7 @@ func (p *Pipeline) Run(world []*dataset.WorldBlock) (*WorldResult, error) {
 	}
 	eng := p.Engine
 	if p.ExcludeSuspects {
-		excluded, rates := p.suspectObservers(world)
+		excluded, rates := p.suspectObservers(ctx, world)
 		res.Report.ExcludedObservers = excluded
 		res.Report.ObserverRates = rates
 		if len(excluded) > 0 {
@@ -144,8 +187,11 @@ func (p *Pipeline) Run(world []*dataset.WorldBlock) (*WorldResult, error) {
 		}
 	}
 	var (
-		wg sync.WaitGroup
-		mu sync.Mutex
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		journalErr error
+		resumed    int
+		retried    int
 	)
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -154,8 +200,27 @@ func (p *Pipeline) Run(world []*dataset.WorldBlock) (*WorldResult, error) {
 			defer wg.Done()
 			for i := range jobs {
 				wb := world[i]
-				analysis, err := p.Config.AnalyzeBlock(eng, wb.Block)
+				if p.Checkpoint != nil {
+					if prior, ok := p.Checkpoint.Lookup(i, wb.ID); ok {
+						res.Blocks[i] = *prior
+						mu.Lock()
+						resumed++
+						mu.Unlock()
+						continue
+					}
+				}
+				analysis, attempts, err := p.analyzeBlock(ctx, eng, wb)
+				if attempts > 1 {
+					mu.Lock()
+					retried++
+					mu.Unlock()
+				}
 				if err != nil {
+					// A block killed by run-level cancellation is neither
+					// finished nor failed: leave it for the resumed run.
+					if ctx.Err() != nil {
+						continue
+					}
 					mu.Lock()
 					res.Report.BlockErrors = append(res.Report.BlockErrors, BlockError{Index: i, ID: wb.ID, Err: err})
 					mu.Unlock()
@@ -163,14 +228,36 @@ func (p *Pipeline) Run(world []*dataset.WorldBlock) (*WorldResult, error) {
 					continue
 				}
 				res.Blocks[i] = BlockOutcome{ID: wb.ID, Place: wb.Place, Analysis: analysis}
+				if p.Checkpoint != nil {
+					if err := p.Checkpoint.Append(i, res.Blocks[i]); err != nil {
+						mu.Lock()
+						if journalErr == nil {
+							journalErr = err
+						}
+						mu.Unlock()
+					}
+				}
 			}
 		}()
 	}
+dispatch:
 	for i := range world {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	res.Report.ResumedBlocks = resumed
+	res.Report.RetriedBlocks = retried
+	if err := ctx.Err(); err != nil {
+		return res, fmt.Errorf("core: run interrupted: %w", err)
+	}
+	if journalErr != nil {
+		return res, fmt.Errorf("core: checkpoint journaling failed: %w", journalErr)
+	}
 	sort.Slice(res.Report.BlockErrors, func(i, j int) bool {
 		return res.Report.BlockErrors[i].Index < res.Report.BlockErrors[j].Index
 	})
@@ -186,11 +273,58 @@ func (p *Pipeline) Run(world []*dataset.WorldBlock) (*WorldResult, error) {
 	return res, nil
 }
 
+// analyzeBlock runs one block with panic containment, a per-block
+// deadline, and bounded retry-with-backoff for transient prober errors.
+// attempts reports how many attempts ran.
+func (p *Pipeline) analyzeBlock(ctx context.Context, eng Prober, wb *dataset.WorldBlock) (a *BlockAnalysis, attempts int, err error) {
+	retries := p.MaxRetries
+	switch {
+	case retries == 0:
+		retries = 2
+	case retries < 0:
+		retries = 0
+	}
+	backoff := p.RetryBackoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	for {
+		attempts++
+		a, err = p.analyzeOnce(ctx, eng, wb)
+		if err == nil || !IsTransient(err) || attempts > retries || ctx.Err() != nil {
+			return a, attempts, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, attempts, ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// analyzeOnce is a single attempt: it applies the per-block deadline and
+// converts a worker panic into a PanicError, so one pathological block
+// becomes one BlockError instead of killing the world run.
+func (p *Pipeline) analyzeOnce(ctx context.Context, eng Prober, wb *dataset.WorldBlock) (a *BlockAnalysis, err error) {
+	if p.BlockTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.BlockTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			a, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return p.Config.AnalyzeBlockContext(ctx, eng, wb.Block)
+}
+
 // suspectObservers samples reply rates across the world and returns the
 // observer indices to discard, with the sampled rates. It never flags
 // every observer: with no healthy reference the check cannot tell who is
 // broken, so it degrades to keeping them all.
-func (p *Pipeline) suspectObservers(world []*dataset.WorldBlock) (excluded []int, rates []float64) {
+func (p *Pipeline) suspectObservers(ctx context.Context, world []*dataset.WorldBlock) (excluded []int, rates []float64) {
 	sample := p.HealthSample
 	if sample <= 0 {
 		sample = 64
@@ -209,8 +343,11 @@ func (p *Pipeline) suspectObservers(world []*dataset.WorldBlock) (excluded []int
 	var health *reconstruct.ObserverHealth
 	var bufs [][]probe.Record
 	for i, n := 0, 0; i < len(world) && n < sample; i += stride {
+		if ctx.Err() != nil {
+			return nil, nil
+		}
 		var err error
-		bufs, err = p.Engine.CollectInto(world[i].Block, cfg.AnalysisStart, cfg.AnalysisEnd, bufs)
+		bufs, err = p.Engine.CollectInto(ctx, world[i].Block, cfg.AnalysisStart, cfg.AnalysisEnd, bufs)
 		if err != nil {
 			continue
 		}
@@ -242,8 +379,8 @@ type excludeProber struct {
 	drop  map[int]bool
 }
 
-func (p *excludeProber) CollectInto(b *netsim.Block, start, end int64, bufs [][]probe.Record) ([][]probe.Record, error) {
-	bufs, err := p.inner.CollectInto(b, start, end, bufs)
+func (p *excludeProber) CollectInto(ctx context.Context, b *netsim.Block, start, end int64, bufs [][]probe.Record) ([][]probe.Record, error) {
+	bufs, err := p.inner.CollectInto(ctx, b, start, end, bufs)
 	if err != nil {
 		return bufs, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -19,11 +20,11 @@ type flakyProber struct {
 	fail  map[netsim.BlockID]bool
 }
 
-func (p *flakyProber) CollectInto(b *netsim.Block, start, end int64, bufs [][]probe.Record) ([][]probe.Record, error) {
+func (p *flakyProber) CollectInto(ctx context.Context, b *netsim.Block, start, end int64, bufs [][]probe.Record) ([][]probe.Record, error) {
 	if p.fail[b.ID] {
 		return bufs, errors.New("collector crashed")
 	}
-	return p.inner.CollectInto(b, start, end, bufs)
+	return p.inner.CollectInto(ctx, b, start, end, bufs)
 }
 
 func smallWorld(t *testing.T, blocks int, seed uint64) []*dataset.WorldBlock {
@@ -65,7 +66,7 @@ func TestPipelinePartialResultOnBlockErrors(t *testing.T) {
 		Config: q1Config(),
 		Engine: &flakyProber{inner: engine4(), fail: fail},
 	}
-	res, err := p.Run(world)
+	res, err := p.Run(context.Background(), world)
 	if err != nil {
 		t.Fatalf("partial failure must not abort the run: %v", err)
 	}
@@ -111,7 +112,7 @@ func TestPipelineAllBlocksFailedReturnsError(t *testing.T) {
 		fail[wb.ID] = true
 	}
 	p := &Pipeline{Config: q1Config(), Engine: &flakyProber{inner: engine4(), fail: fail}}
-	res, err := p.Run(world)
+	res, err := p.Run(context.Background(), world)
 	if err == nil {
 		t.Fatal("a run where every block failed must return an error")
 	}
@@ -172,7 +173,7 @@ func TestPipelineFaultInjectedWorld(t *testing.T) {
 		ExcludeSuspects: true,
 		HealthSample:    8,
 	}
-	res, err := p.Run(world)
+	res, err := p.Run(context.Background(), world)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestPipelineHealthCheckKeepsHealthyObservers(t *testing.T) {
 	world := smallWorld(t, 12, 53)
 	run := func(exclude bool) *WorldResult {
 		p := &Pipeline{Config: q1Config(), Engine: engine4(), ExcludeSuspects: exclude, HealthSample: 6}
-		res, err := p.Run(world)
+		res, err := p.Run(context.Background(), world)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -3,7 +3,9 @@ package dataset
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"github.com/diurnalnet/diurnal/internal/probe"
@@ -12,28 +14,78 @@ import (
 // The observation-log format stores one observer's probe records
 // compactly: a magic header, the record count, the base timestamp, then
 // per record a varint time delta from the previous record, the address
-// octet, and the up flag. Real deployments of the paper's pipeline archive
-// years of such logs; the codec keeps our datasets replayable without
-// re-simulating.
+// octet, and the up flag, followed by a CRC32C trailer over everything
+// before it. Real deployments of the paper's pipeline archive years of
+// such logs; the codec keeps our datasets replayable without
+// re-simulating, and the checksum turns silent bit rot, torn writes, and
+// replayed appends into loud per-log errors that fsck (Store.Verify) and
+// the replay prober surface as per-block failures instead of bad data.
 
 const logMagic = "DIURNLOG" // 8 bytes
 
-// WriteRecords encodes records (which must be in time order) to w.
+// castagnoli is the CRC32C polynomial table; CRC32C is hardware
+// accelerated on amd64/arm64, so the trailer is nearly free.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptLog marks structural damage to an observation log — bad
+// magic, truncation, a checksum mismatch, or trailing bytes after the
+// trailer. Callers classify with errors.Is.
+var ErrCorruptLog = errors.New("corrupt observation log")
+
+// crcWriter updates a running CRC32C with everything written through it.
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	return n, err
+}
+
+// crcReader updates a running CRC32C with everything read through it. It
+// implements io.ByteReader for the varint decoder.
+type crcReader struct {
+	br  *bufio.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.br.Read(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	return n, err
+}
+
+func (c *crcReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err != nil {
+		return b, err
+	}
+	var one [1]byte
+	one[0] = b
+	c.crc = crc32.Update(c.crc, castagnoli, one[:])
+	return b, nil
+}
+
+// WriteRecords encodes records (which must be in time order) to w and
+// appends a CRC32C trailer over the encoded stream.
 func WriteRecords(w io.Writer, records []probe.Record) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(logMagic); err != nil {
+	cw := &crcWriter{w: bw}
+	if _, err := cw.Write([]byte(logMagic)); err != nil {
 		return err
 	}
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], uint64(len(records)))
-	if _, err := bw.Write(buf[:n]); err != nil {
+	if _, err := cw.Write(buf[:n]); err != nil {
 		return err
 	}
 	var prev int64
 	if len(records) > 0 {
 		prev = records[0].T
 		n = binary.PutVarint(buf[:], prev)
-		if _, err := bw.Write(buf[:n]); err != nil {
+		if _, err := cw.Write(buf[:n]); err != nil {
 			return err
 		}
 	}
@@ -44,60 +96,82 @@ func WriteRecords(w io.Writer, records []probe.Record) error {
 		}
 		prev = r.T
 		n = binary.PutUvarint(buf[:], uint64(delta))
-		if _, err := bw.Write(buf[:n]); err != nil {
+		if _, err := cw.Write(buf[:n]); err != nil {
 			return err
 		}
 		up := byte(0)
 		if r.Up {
 			up = 1
 		}
-		if _, err := bw.Write([]byte{r.Addr, up}); err != nil {
+		if _, err := cw.Write([]byte{r.Addr, up}); err != nil {
 			return err
 		}
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], cw.crc)
+	if _, err := bw.Write(trailer[:]); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
-// ReadRecords decodes a log written by WriteRecords.
+// ReadRecords decodes a log written by WriteRecords, verifying its CRC32C
+// trailer and rejecting trailing bytes. Any structural failure (bad
+// magic, truncation, checksum mismatch, appended garbage) is reported as
+// an error wrapping ErrCorruptLog.
 func ReadRecords(r io.Reader) ([]probe.Record, error) {
 	br := bufio.NewReader(r)
+	cr := &crcReader{br: br}
 	magic := make([]byte, len(logMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("dataset: reading magic: %w", err)
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, fmt.Errorf("dataset: reading magic: %v: %w", err, ErrCorruptLog)
 	}
 	if string(magic) != logMagic {
-		return nil, fmt.Errorf("dataset: bad magic %q", magic)
+		return nil, fmt.Errorf("dataset: bad magic %q: %w", magic, ErrCorruptLog)
 	}
-	count, err := binary.ReadUvarint(br)
+	count, err := binary.ReadUvarint(cr)
 	if err != nil {
-		return nil, fmt.Errorf("dataset: reading count: %w", err)
+		return nil, fmt.Errorf("dataset: reading count: %v: %w", err, ErrCorruptLog)
 	}
 	const maxRecords = 1 << 30
 	if count > maxRecords {
-		return nil, fmt.Errorf("dataset: implausible record count %d", count)
+		return nil, fmt.Errorf("dataset: implausible record count %d: %w", count, ErrCorruptLog)
 	}
 	records := make([]probe.Record, 0, count)
-	if count == 0 {
-		return records, nil
-	}
-	prev, err := binary.ReadVarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("dataset: reading base time: %w", err)
+	var prev int64
+	if count > 0 {
+		prev, err = binary.ReadVarint(cr)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading base time: %v: %w", err, ErrCorruptLog)
+		}
 	}
 	for i := uint64(0); i < count; i++ {
-		delta, err := binary.ReadUvarint(br)
+		delta, err := binary.ReadUvarint(cr)
 		if err != nil {
-			return nil, fmt.Errorf("dataset: record %d delta: %w", i, err)
+			return nil, fmt.Errorf("dataset: record %d delta: %v: %w", i, err, ErrCorruptLog)
 		}
 		prev += int64(delta)
 		var pair [2]byte
-		if _, err := io.ReadFull(br, pair[:]); err != nil {
-			return nil, fmt.Errorf("dataset: record %d payload: %w", i, err)
+		if _, err := io.ReadFull(cr, pair[:]); err != nil {
+			return nil, fmt.Errorf("dataset: record %d payload: %v: %w", i, err, ErrCorruptLog)
 		}
 		if pair[1] > 1 {
-			return nil, fmt.Errorf("dataset: record %d has invalid up flag %d", i, pair[1])
+			return nil, fmt.Errorf("dataset: record %d has invalid up flag %d: %w", i, pair[1], ErrCorruptLog)
 		}
 		records = append(records, probe.Record{T: prev, Addr: pair[0], Up: pair[1] == 1})
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(br, trailer[:]); err != nil {
+		return nil, fmt.Errorf("dataset: reading checksum: %v: %w", err, ErrCorruptLog)
+	}
+	if got := binary.LittleEndian.Uint32(trailer[:]); got != cr.crc {
+		return nil, fmt.Errorf("dataset: checksum mismatch: stored %08x, computed %08x: %w", got, cr.crc, ErrCorruptLog)
+	}
+	// A duplicate-append (a crashed archiver replaying its buffer into the
+	// same file) leaves a second complete log after the trailer: anything
+	// beyond the checksum is corruption, not data.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("dataset: trailing bytes after checksum: %w", ErrCorruptLog)
 	}
 	return records, nil
 }

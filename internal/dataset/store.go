@@ -2,10 +2,15 @@ package dataset
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"github.com/diurnalnet/diurnal/internal/netsim"
 	"github.com/diurnalnet/diurnal/internal/probe"
@@ -15,9 +20,18 @@ import (
 // without re-simulating (or, against real data, without re-probing): one
 // binary log per (block, observer) plus a JSON index. This mirrors the
 // role of the paper's public Trinocular datasets [Table 6].
+//
+// Durability: every file is written to a temp name and renamed into
+// place, so a crash mid-archive never leaves a half-written log under its
+// final name; each log carries a CRC32C trailer so bytes damaged after
+// the fact are detected on read. Verify is the matching fsck.
 type Store struct {
 	dir string
 }
+
+// ErrNotStore reports that a directory is not a dataset store (no
+// index.json). Classify with errors.Is.
+var ErrNotStore = errors.New("not a dataset store")
 
 // storeIndex is the JSON manifest of a store.
 type storeIndex struct {
@@ -36,14 +50,46 @@ type blockEntry struct {
 // OpenStore opens an existing store directory.
 func OpenStore(dir string) (*Store, error) {
 	if _, err := os.Stat(filepath.Join(dir, "index.json")); err != nil {
-		return nil, fmt.Errorf("dataset: %s is not a store: %w", dir, err)
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("dataset: %s: %w", dir, ErrNotStore)
+		}
+		return nil, fmt.Errorf("dataset: opening %s: %w", dir, err)
 	}
 	return &Store{dir: dir}, nil
 }
 
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// writeFileAtomic writes data to path via a temp file in the same
+// directory, fsyncs it, and renames it into place, so readers (and
+// crash-recovery) never observe a torn file under the final name.
+func writeFileAtomic(path string, write func(f *os.File) error) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
 // CreateStore writes a complete observation archive: it probes every block
 // of the world with the engine over [spec.Start, spec.End()) and writes
-// one log per (block, observer).
+// one log per (block, observer). The index is written last, so a crash
+// mid-archive leaves a directory OpenStore still refuses as ErrNotStore
+// rather than a store with missing logs.
 func CreateStore(dir string, spec Spec, eng *probe.Engine, world []*WorldBlock) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -56,24 +102,14 @@ func CreateStore(dir string, spec Spec, eng *probe.Engine, world []*WorldBlock) 
 		}
 		perObs, err := eng.Collect(wb.Block, spec.Start, spec.End())
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("dataset: probing %v: %w", wb.ID, err)
 		}
 		for oi, records := range perObs {
-			f, err := os.Create(filepath.Join(dir, logName(wb.ID, oi)))
+			err := writeFileAtomic(filepath.Join(dir, logName(wb.ID, oi)), func(f *os.File) error {
+				return WriteRecords(f, records)
+			})
 			if err != nil {
-				return nil, err
-			}
-			w := bufio.NewWriter(f)
-			if err := WriteRecords(w, records); err != nil {
-				f.Close()
 				return nil, fmt.Errorf("dataset: writing %v obs %d: %w", wb.ID, oi, err)
-			}
-			if err := w.Flush(); err != nil {
-				f.Close()
-				return nil, err
-			}
-			if err := f.Close(); err != nil {
-				return nil, err
 			}
 		}
 		idx.Blocks = append(idx.Blocks, blockEntry{ID: uint32(wb.ID), EverActive: eb})
@@ -82,8 +118,12 @@ func CreateStore(dir string, spec Spec, eng *probe.Engine, world []*WorldBlock) 
 	if err != nil {
 		return nil, err
 	}
-	if err := os.WriteFile(filepath.Join(dir, "index.json"), data, 0o644); err != nil {
-		return nil, err
+	err = writeFileAtomic(filepath.Join(dir, "index.json"), func(f *os.File) error {
+		_, err := f.Write(data)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dataset: writing index: %w", err)
 	}
 	return &Store{dir: dir}, nil
 }
@@ -107,7 +147,10 @@ func (s *Store) Index() (name string, start, end int64, sites []string, blocks [
 func (s *Store) readIndex() (*storeIndex, error) {
 	data, err := os.ReadFile(filepath.Join(s.dir, "index.json"))
 	if err != nil {
-		return nil, err
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("dataset: %s: %w", s.dir, ErrNotStore)
+		}
+		return nil, fmt.Errorf("dataset: reading index: %w", err)
 	}
 	var idx storeIndex
 	if err := json.Unmarshal(data, &idx); err != nil {
@@ -117,11 +160,17 @@ func (s *Store) readIndex() (*storeIndex, error) {
 }
 
 // LoadBlock reads one block's per-observer record streams and its E(b).
+// A damaged log surfaces as an error wrapping ErrCorruptLog, scoped to
+// this block only — the rest of the store stays readable.
 func (s *Store) LoadBlock(id netsim.BlockID) (perObs [][]probe.Record, eb []int, err error) {
 	idx, err := s.readIndex()
 	if err != nil {
 		return nil, nil, err
 	}
+	return s.loadBlockIdx(idx, id)
+}
+
+func (s *Store) loadBlockIdx(idx *storeIndex, id netsim.BlockID) (perObs [][]probe.Record, eb []int, err error) {
 	found := false
 	for _, b := range idx.Blocks {
 		if netsim.BlockID(b.ID) == id {
@@ -136,7 +185,7 @@ func (s *Store) LoadBlock(id netsim.BlockID) (perObs [][]probe.Record, eb []int,
 	for oi := 0; oi < len(idx.Sites); oi++ {
 		f, err := os.Open(filepath.Join(s.dir, logName(id, oi)))
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, fmt.Errorf("dataset: block %v obs %d: %w", id, oi, err)
 		}
 		records, err := ReadRecords(bufio.NewReader(f))
 		f.Close()
@@ -146,4 +195,160 @@ func (s *Store) LoadBlock(id netsim.BlockID) (perObs [][]probe.Record, eb []int,
 		perObs = append(perObs, records)
 	}
 	return perObs, eb, nil
+}
+
+// LogFault is one damaged observation log found by Verify.
+type LogFault struct {
+	ID  netsim.BlockID
+	Obs int
+	Err error
+}
+
+// VerifyReport is the result of an fsck pass over a store.
+type VerifyReport struct {
+	// Blocks and Logs count what was checked; OK counts clean logs.
+	Blocks, Logs, OK int
+	// Faults lists every damaged or missing log, in index order.
+	Faults []LogFault
+	// DuplicateIndex lists block IDs that appear more than once in the
+	// manifest — a crashed archiver that re-appended its tail.
+	DuplicateIndex []netsim.BlockID
+}
+
+// Clean reports whether the store passed verification.
+func (r *VerifyReport) Clean() bool {
+	return len(r.Faults) == 0 && len(r.DuplicateIndex) == 0
+}
+
+// BadBlocks returns the distinct block IDs with at least one damaged log
+// — the quarantine set a replay run must skip or re-probe.
+func (r *VerifyReport) BadBlocks() []netsim.BlockID {
+	seen := map[netsim.BlockID]bool{}
+	var out []netsim.BlockID
+	for _, f := range r.Faults {
+		if !seen[f.ID] {
+			seen[f.ID] = true
+			out = append(out, f.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders an fsck-style summary.
+func (r *VerifyReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "checked %d blocks, %d logs: %d ok, %d damaged", r.Blocks, r.Logs, r.OK, len(r.Faults))
+	if len(r.DuplicateIndex) > 0 {
+		fmt.Fprintf(&b, ", %d duplicate index entries", len(r.DuplicateIndex))
+	}
+	b.WriteString("\n")
+	for _, f := range r.Faults {
+		fmt.Fprintf(&b, "  block %06x obs %d: %v\n", uint32(f.ID), f.Obs, f.Err)
+	}
+	for _, id := range r.DuplicateIndex {
+		fmt.Fprintf(&b, "  block %06x: duplicate index entry\n", uint32(id))
+	}
+	return b.String()
+}
+
+// Verify is fsck for a store: it decodes every observation log, checking
+// magic, structure, CRC32C, trailing garbage, and in-log duplicate
+// observations, and reports damage as per-block faults instead of failing
+// on the first bad byte. The returned error is non-nil only when the
+// index itself is unreadable.
+func (s *Store) Verify() (*VerifyReport, error) {
+	idx, err := s.readIndex()
+	if err != nil {
+		return nil, err
+	}
+	rep := &VerifyReport{}
+	seen := map[uint32]bool{}
+	for _, be := range idx.Blocks {
+		if seen[be.ID] {
+			rep.DuplicateIndex = append(rep.DuplicateIndex, netsim.BlockID(be.ID))
+			continue
+		}
+		seen[be.ID] = true
+		rep.Blocks++
+		id := netsim.BlockID(be.ID)
+		for oi := 0; oi < len(idx.Sites); oi++ {
+			rep.Logs++
+			if err := s.verifyLog(id, oi); err != nil {
+				rep.Faults = append(rep.Faults, LogFault{ID: id, Obs: oi, Err: err})
+				continue
+			}
+			rep.OK++
+		}
+	}
+	return rep, nil
+}
+
+// verifyLog decodes one log and checks semantic invariants the checksum
+// cannot: duplicate (time, address) observations from a replayed batch
+// that was archived with a valid trailer.
+func (s *Store) verifyLog(id netsim.BlockID, oi int) error {
+	f, err := os.Open(filepath.Join(s.dir, logName(id, oi)))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	records, err := ReadRecords(bufio.NewReader(f))
+	if err != nil {
+		return err
+	}
+	for i := 1; i < len(records); i++ {
+		if records[i].T == records[i-1].T && records[i].Addr == records[i-1].Addr {
+			return fmt.Errorf("dataset: duplicate observation of addr %d at t=%d: %w",
+				records[i].Addr, records[i].T, ErrCorruptLog)
+		}
+	}
+	return nil
+}
+
+// Replay returns a prober that serves collections from the store's logs
+// instead of probing, clipped to the requested window. It satisfies
+// core.Prober, so an archived dataset drops into the analysis pipeline
+// unchanged; a damaged log surfaces as that block's collection error (and
+// so as one BlockError in the run report), never as silent bad data.
+func (s *Store) Replay() (*ReplayProber, error) {
+	idx, err := s.readIndex()
+	if err != nil {
+		return nil, err
+	}
+	return &ReplayProber{store: s, idx: idx}, nil
+}
+
+// ReplayProber adapts a Store to the pipeline's prober interface.
+type ReplayProber struct {
+	store *Store
+	idx   *storeIndex
+}
+
+// Observers returns the number of observer streams per block.
+func (p *ReplayProber) Observers() int { return len(p.idx.Sites) }
+
+// CollectInto loads the block's archived streams, clipping records to
+// [start, end). The bufs contract matches probe.Engine.CollectInto.
+func (p *ReplayProber) CollectInto(ctx context.Context, b *netsim.Block, start, end int64, bufs [][]probe.Record) ([][]probe.Record, error) {
+	if err := ctx.Err(); err != nil {
+		return bufs, err
+	}
+	perObs, _, err := p.store.loadBlockIdx(p.idx, b.ID)
+	if err != nil {
+		return bufs, err
+	}
+	for len(bufs) < len(perObs) {
+		bufs = append(bufs, nil)
+	}
+	bufs = bufs[:len(perObs)]
+	for i, records := range perObs {
+		bufs[i] = bufs[i][:0]
+		for _, r := range records {
+			if r.T >= start && r.T < end {
+				bufs[i] = append(bufs[i], r)
+			}
+		}
+	}
+	return bufs, nil
 }

@@ -236,17 +236,23 @@ func DiurnalScore(x []float64, opts DiurnalScoreOpts) (float64, error) {
 	// Fundamental bin: k = N * interval / period.
 	fund := float64(n) * opts.SampleInterval / opts.Period
 	inBand := make(map[int]bool)
+	var bins []int
 	for h := 1; h <= opts.Harmonics; h++ {
 		center := int(math.Round(fund * float64(h)))
 		for d := -opts.Tolerance; d <= opts.Tolerance; d++ {
 			k := center + d
-			if k >= 1 && k < len(p) {
+			if k >= 1 && k < len(p) && !inBand[k] {
 				inBand[k] = true
+				bins = append(bins, k)
 			}
 		}
 	}
+	// Sum in ascending bin order: ranging over the map would randomize the
+	// floating-point summation order and make the score differ in the last
+	// ulp between otherwise identical runs.
+	sort.Ints(bins)
 	band := 0.0
-	for k := range inBand {
+	for _, k := range bins {
 		band += p[k]
 	}
 	return band / total, nil

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/diurnalnet/diurnal/internal/core"
+	"github.com/diurnalnet/diurnal/internal/dataset"
+	"github.com/diurnalnet/diurnal/internal/events"
+	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/probe"
+)
+
+// CrashResumeResult records the kill-and-resume robustness check: one
+// world is analyzed uninterrupted, then again with the run killed partway
+// through and resumed from its checkpoint journal, and the two results
+// are compared byte-for-byte (via WorldResult.Fingerprint).
+type CrashResumeResult struct {
+	// Blocks is the world size.
+	Blocks int
+	// KillAfter is how many completed block collections the interrupted
+	// run survived before its context was canceled.
+	KillAfter int
+	// JournaledAtCrash is how many finished blocks the checkpoint journal
+	// held when the run died.
+	JournaledAtCrash int
+	// ResumedFromJournal is how many blocks the second run restored from
+	// the journal instead of re-analyzing.
+	ResumedFromJournal int
+	// InterruptedErr is the error the killed run returned.
+	InterruptedErr string
+	// Identical reports whether the resumed result's fingerprint matches
+	// the uninterrupted run's — the crash-safety contract.
+	Identical bool
+	// Fingerprint and ResumedFingerprint are the two result digests.
+	Fingerprint, ResumedFingerprint string
+}
+
+// String renders the check as text.
+func (r *CrashResumeResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kill-and-resume over %d blocks:\n", r.Blocks)
+	fmt.Fprintf(&b, "  killed after %d block collections; journal held %d finished blocks\n",
+		r.KillAfter, r.JournaledAtCrash)
+	fmt.Fprintf(&b, "  interrupted run returned: %s\n", r.InterruptedErr)
+	fmt.Fprintf(&b, "  resumed run restored %d blocks from the journal\n", r.ResumedFromJournal)
+	verdict := "IDENTICAL"
+	if !r.Identical {
+		verdict = "DIVERGED"
+	}
+	fmt.Fprintf(&b, "  uninterrupted %s\n  resumed       %s\n  => %s\n",
+		r.Fingerprint[:16], r.ResumedFingerprint[:16], verdict)
+	return b.String()
+}
+
+// killProber counts completed collections and cancels the run's context
+// after a budget — a deterministic stand-in for kill -9 arriving midway
+// through a world run.
+type killProber struct {
+	inner core.Prober
+	kill  context.CancelFunc
+
+	mu        sync.Mutex
+	remaining int
+}
+
+func (p *killProber) CollectInto(ctx context.Context, b *netsim.Block, start, end int64, bufs [][]probe.Record) ([][]probe.Record, error) {
+	bufs, err := p.inner.CollectInto(ctx, b, start, end, bufs)
+	if err != nil {
+		return bufs, err
+	}
+	p.mu.Lock()
+	p.remaining--
+	if p.remaining == 0 {
+		p.kill()
+	}
+	p.mu.Unlock()
+	return bufs, nil
+}
+
+// CrashResume is the checkpoint/resume acceptance experiment. It runs one
+// world three ways — uninterrupted; killed partway with a checkpoint
+// journal attached; resumed from that journal — and asserts the resumed
+// result is identical to the uninterrupted one. A non-nil error means the
+// crash-safety contract is broken (or the harness could not run at all).
+func CrashResume(opts Options) (*CrashResumeResult, error) {
+	start, end := q1Window()
+	world, err := dataset.BuildWorld(dataset.WorldOpts{
+		Blocks:   opts.blocks(160),
+		Seed:     opts.seed() + 31,
+		Calendar: events.Year2020(),
+		Start:    start,
+		End:      end,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig(start, end)
+	cfg.BaselineStart = start
+	cfg.BaselineEnd = netsim.Date(2020, time.January, 29)
+	eng := &probe.Engine{Observers: probe.StandardObservers(4), QuarterSeed: opts.seed()}
+
+	// Reference: the uninterrupted run.
+	full, err := (&core.Pipeline{Config: cfg, Engine: eng}).Run(opts.ctx(), world)
+	if err != nil {
+		return nil, fmt.Errorf("uninterrupted run: %w", err)
+	}
+	want, err := full.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+
+	dir, err := os.MkdirTemp("", "diurnal-crashresume")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	journal := filepath.Join(dir, "run.ckpt")
+
+	res := &CrashResumeResult{
+		Blocks:      len(world),
+		KillAfter:   len(world) / 4,
+		Fingerprint: want,
+	}
+
+	// Interrupted run: cancel the context after KillAfter collections,
+	// exactly as a signal would, with the journal attached.
+	killCtx, kill := context.WithCancel(opts.ctx())
+	defer kill()
+	cp, err := core.OpenCheckpoint(journal)
+	if err != nil {
+		return nil, err
+	}
+	_, runErr := (&core.Pipeline{
+		Config:     cfg,
+		Engine:     &killProber{inner: eng, kill: kill, remaining: res.KillAfter},
+		Checkpoint: cp,
+	}).Run(killCtx, world)
+	if runErr == nil {
+		cp.Close()
+		return nil, fmt.Errorf("interrupted run finished cleanly; kill budget %d never fired", res.KillAfter)
+	}
+	res.InterruptedErr = runErr.Error()
+	res.JournaledAtCrash = cp.Entries()
+	if err := cp.Close(); err != nil {
+		return nil, err
+	}
+	if res.JournaledAtCrash == 0 || res.JournaledAtCrash >= len(world) {
+		return res, fmt.Errorf("journal held %d of %d blocks at crash; the kill was not mid-run", res.JournaledAtCrash, len(world))
+	}
+
+	// Resumed run: same config and world, fresh pipeline, same journal.
+	cp2, err := core.OpenCheckpoint(journal)
+	if err != nil {
+		return nil, err
+	}
+	defer cp2.Close()
+	resumed, err := (&core.Pipeline{Config: cfg, Engine: eng, Checkpoint: cp2}).Run(opts.ctx(), world)
+	if err != nil {
+		return res, fmt.Errorf("resumed run: %w", err)
+	}
+	res.ResumedFromJournal = resumed.Report.ResumedBlocks
+	res.ResumedFingerprint, err = resumed.Fingerprint()
+	if err != nil {
+		return res, err
+	}
+	res.Identical = res.ResumedFingerprint == res.Fingerprint
+	if !res.Identical {
+		return res, fmt.Errorf("resumed result diverged from uninterrupted run:\n%s", res)
+	}
+	if res.ResumedFromJournal == 0 {
+		return res, fmt.Errorf("resumed run restored nothing from a journal holding %d blocks", res.JournaledAtCrash)
+	}
+	return res, nil
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCrashResume exercises the full kill-and-resume contract at reduced
+// scale: CrashResume itself errors when any part of the contract breaks
+// (journal empty or full at crash, resumed fingerprint diverging, nothing
+// restored), so a nil error plus Identical is the whole acceptance check.
+func TestCrashResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three world analyses")
+	}
+	res, err := CrashResume(Options{Blocks: 64})
+	if err != nil {
+		t.Fatalf("crash-safety contract broken: %v", err)
+	}
+	if !res.Identical {
+		t.Fatalf("resumed run diverged:\n%s", res)
+	}
+	if res.JournaledAtCrash <= 0 || res.JournaledAtCrash >= res.Blocks {
+		t.Fatalf("kill was not mid-run: journal held %d of %d", res.JournaledAtCrash, res.Blocks)
+	}
+	if res.ResumedFromJournal <= 0 {
+		t.Fatalf("resumed run re-analyzed everything despite a journal of %d blocks", res.JournaledAtCrash)
+	}
+	if !strings.Contains(res.String(), "IDENTICAL") {
+		t.Fatalf("report does not state the verdict:\n%s", res)
+	}
+}

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -30,6 +31,8 @@ type Options struct {
 	Blocks int
 	// Seed drives all randomness (default 1).
 	Seed uint64
+	// Ctx, when non-nil, cancels long experiment runs early.
+	Ctx context.Context
 }
 
 func (o Options) blocks(def int) int {
@@ -37,6 +40,13 @@ func (o Options) blocks(def int) int {
 		return o.Blocks
 	}
 	return def
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o Options) seed() uint64 {

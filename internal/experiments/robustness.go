@@ -99,11 +99,11 @@ func Robustness(opts Options) (*RobustnessResult, error) {
 			Engine:          newEngine(),
 			ExcludeSuspects: true,
 			HealthSample:    16,
-		}).Run(world)
+		}).Run(opts.ctx(), world)
 		if err != nil {
 			return nil, fmt.Errorf("severity %.2f: %w", sev, err)
 		}
-		raw, err := (&core.Pipeline{Config: rawCfg, Engine: newEngine()}).Run(world)
+		raw, err := (&core.Pipeline{Config: rawCfg, Engine: newEngine()}).Run(opts.ctx(), world)
 		if err != nil {
 			return nil, fmt.Errorf("severity %.2f (unmitigated): %w", sev, err)
 		}

@@ -22,6 +22,10 @@
 package faults
 
 import (
+	"context"
+	"fmt"
+	"sync"
+
 	"github.com/diurnalnet/diurnal/internal/netsim"
 	"github.com/diurnalnet/diurnal/internal/probe"
 )
@@ -34,6 +38,7 @@ const (
 	saltDup    uint64 = 0xfa04
 	saltSwap   uint64 = 0xfa05
 	saltTrunc  uint64 = 0xfa06
+	saltSpur   uint64 = 0xfa07
 )
 
 // Downtime is a half-open window [Start, End) during which an observer is
@@ -185,6 +190,36 @@ func (f *ObserverFaults) down(t int64) bool {
 	return false
 }
 
+// SpuriousCollect injects whole-collection outages: for a deterministic
+// subset of blocks, the first Attempts collection calls fail outright
+// with a transient error (a collector that is rebooting and comes back if
+// asked again). The error implements `Transient() bool`, which
+// core.IsTransient recognizes, so the pipeline's retry-with-backoff
+// clears it; with retries disabled it surfaces as a BlockError.
+type SpuriousCollect struct {
+	// Prob is the per-block probability the block's collector starts in
+	// the failing state.
+	Prob float64
+	// Attempts is how many collection calls fail before the collector
+	// recovers (default 1).
+	Attempts int
+}
+
+// transientError marks an injected outage retryable without importing
+// core (which would cycle through core's tests).
+type transientError struct {
+	id      netsim.BlockID
+	attempt int
+}
+
+func (e *transientError) Error() string {
+	return fmt.Sprintf("faults: collector outage for block %s (attempt %d)", e.id, e.attempt)
+}
+
+// Transient reports the outage clears on retry; core.IsTransient keys on
+// this method.
+func (e *transientError) Transient() bool { return true }
+
 // Plan assigns faults to an engine's observers by index.
 type Plan struct {
 	// Seed drives all fault randomness, independent of the world seed.
@@ -192,6 +227,9 @@ type Plan struct {
 	// PerObserver is indexed like the engine's observer list; missing
 	// indices are fault-free.
 	PerObserver []ObserverFaults
+	// Spurious, when non-nil, makes whole collection calls fail
+	// transiently for a deterministic subset of blocks.
+	Spurious *SpuriousCollect
 }
 
 // observer returns the faults for index i, or nil when there are none.
@@ -210,12 +248,20 @@ func (p *Plan) observer(i int) *ObserverFaults {
 type Engine struct {
 	Inner *probe.Engine
 	Plan  *Plan
+
+	// mu guards attempts, the per-block count of collection calls used by
+	// the Spurious fault to fail the first N and then recover.
+	mu       sync.Mutex
+	attempts map[netsim.BlockID]int
 }
 
 // CollectInto probes the block through the fault plan. The bufs contract
 // matches probe.Engine.CollectInto; corrupted streams may be replaced by
 // fresh slices.
-func (e *Engine) CollectInto(b *netsim.Block, start, end int64, bufs [][]probe.Record) ([][]probe.Record, error) {
+func (e *Engine) CollectInto(ctx context.Context, b *netsim.Block, start, end int64, bufs [][]probe.Record) ([][]probe.Record, error) {
+	if err := e.spurious(b); err != nil {
+		return bufs, err
+	}
 	inner := *e.Inner
 	inner.Observers = append([]probe.Observer(nil), e.Inner.Observers...)
 	for oi := range inner.Observers {
@@ -234,7 +280,7 @@ func (e *Engine) CollectInto(b *netsim.Block, start, end int64, bufs [][]probe.R
 			o.ExtraLoss = f.Burst.lossFunc(e.planSeed(), uint64(oi))
 		}
 	}
-	bufs, err := inner.CollectInto(b, start, end, bufs)
+	bufs, err := inner.CollectInto(ctx, b, start, end, bufs)
 	if err != nil {
 		return bufs, err
 	}
@@ -251,6 +297,39 @@ func (e *Engine) CollectInto(b *netsim.Block, start, end int64, bufs [][]probe.R
 		}
 	}
 	return bufs, nil
+}
+
+// spurious returns the injected transient outage for b's next collection
+// attempt, or nil when the block is unaffected or has recovered.
+func (e *Engine) spurious(b *netsim.Block) error {
+	s := e.planSpurious()
+	if s == nil || s.Prob <= 0 {
+		return nil
+	}
+	if netsim.HashUnit(e.planSeed(), uint64(b.ID), saltSpur) >= s.Prob {
+		return nil
+	}
+	limit := s.Attempts
+	if limit <= 0 {
+		limit = 1
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.attempts == nil {
+		e.attempts = map[netsim.BlockID]int{}
+	}
+	e.attempts[b.ID]++
+	if n := e.attempts[b.ID]; n <= limit {
+		return &transientError{id: b.ID, attempt: n}
+	}
+	return nil
+}
+
+func (e *Engine) planSpurious() *SpuriousCollect {
+	if e.Plan == nil {
+		return nil
+	}
+	return e.Plan.Spurious
 }
 
 func (e *Engine) planSeed() uint64 {

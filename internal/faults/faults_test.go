@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -22,7 +23,7 @@ func newBlock(t *testing.T, spec netsim.Spec) *netsim.Block {
 
 func collect(t *testing.T, e *Engine, b *netsim.Block, start, end int64) [][]probe.Record {
 	t.Helper()
-	bufs, err := e.CollectInto(b, start, end, nil)
+	bufs, err := e.CollectInto(context.Background(), b, start, end, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package probe
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -153,6 +154,14 @@ func (e *Engine) Order(b *netsim.Block) []int {
 // e.Observers. Records from one observer are strictly ordered; ties across
 // observers resolve by observer index.
 func (e *Engine) Run(b *netsim.Block, start, end int64, fn func(obs int, r Record)) error {
+	return e.RunContext(context.Background(), b, start, end, fn)
+}
+
+// RunContext is Run with cancellation: the probing loop checks ctx between
+// rounds and returns ctx.Err() as soon as the context is done, so a
+// world-scale run can be interrupted mid-block instead of only between
+// blocks.
+func (e *Engine) RunContext(ctx context.Context, b *netsim.Block, start, end int64, fn func(obs int, r Record)) error {
 	if err := e.Validate(); err != nil {
 		return err
 	}
@@ -178,7 +187,14 @@ func (e *Engine) Run(b *netsim.Block, start, end int64, fn func(obs int, r Recor
 			cursor: i * len(order) / len(e.Observers),
 		}
 	}
+	rounds := 0
 	for {
+		// Check for cancellation every few rounds: often enough that a
+		// killed run stops within milliseconds, rarely enough that the
+		// ctx mutex stays off the probing hot path.
+		if rounds++; rounds&0x3f == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
 		// Pick the observer with the earliest next round.
 		oi := -1
 		for i := range sts {
@@ -243,13 +259,15 @@ func (e *Engine) round(b *netsim.Block, oi int, t int64, order []int, cursor *in
 // convenience for tests and small experiments. Hot paths that process many
 // blocks should use CollectInto to reuse buffers.
 func (e *Engine) Collect(b *netsim.Block, start, end int64) ([][]Record, error) {
-	return e.CollectInto(b, start, end, nil)
+	return e.CollectInto(context.Background(), b, start, end, nil)
 }
 
-// CollectInto is Collect with caller-provided buffers: each bufs[i] is
-// truncated and reused, avoiding per-block allocation churn in world-scale
-// runs. bufs may be nil or shorter than the observer count.
-func (e *Engine) CollectInto(b *netsim.Block, start, end int64, bufs [][]Record) ([][]Record, error) {
+// CollectInto is Collect with caller-provided buffers and cancellation:
+// each bufs[i] is truncated and reused, avoiding per-block allocation
+// churn in world-scale runs. bufs may be nil or shorter than the observer
+// count. When ctx is canceled mid-collection the partial buffers are
+// returned along with ctx.Err().
+func (e *Engine) CollectInto(ctx context.Context, b *netsim.Block, start, end int64, bufs [][]Record) ([][]Record, error) {
 	for len(bufs) < len(e.Observers) {
 		bufs = append(bufs, nil)
 	}
@@ -257,7 +275,7 @@ func (e *Engine) CollectInto(b *netsim.Block, start, end int64, bufs [][]Record)
 	for i := range bufs {
 		bufs[i] = bufs[i][:0]
 	}
-	err := e.Run(b, start, end, func(obs int, r Record) {
+	err := e.RunContext(ctx, b, start, end, func(obs int, r Record) {
 		bufs[obs] = append(bufs[obs], r)
 	})
 	return bufs, err

@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -331,7 +332,7 @@ func BenchmarkProbeBlockDay4Observers(b *testing.B) {
 func TestCollectIntoReusesBuffers(t *testing.T) {
 	b := newBlock(t, netsim.Spec{Workers: 40, AlwaysOn: 5})
 	e := &Engine{Observers: StandardObservers(2), QuarterSeed: 9}
-	bufs, err := e.CollectInto(b, jan6, jan6+6*3600, nil)
+	bufs, err := e.CollectInto(context.Background(), b, jan6, jan6+6*3600, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +342,7 @@ func TestCollectIntoReusesBuffers(t *testing.T) {
 	firstCap := cap(bufs[0])
 	firstLen := len(bufs[0])
 	// Second call with the same window must reuse the same backing arrays.
-	bufs2, err := e.CollectInto(b, jan6, jan6+6*3600, bufs)
+	bufs2, err := e.CollectInto(context.Background(), b, jan6, jan6+6*3600, bufs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +370,7 @@ func TestCollectIntoShortBufSlice(t *testing.T) {
 	b := newBlock(t, netsim.Spec{AlwaysOn: 10})
 	e := &Engine{Observers: StandardObservers(3), QuarterSeed: 9}
 	bufs := make([][]Record, 1) // shorter than observer count
-	got, err := e.CollectInto(b, jan6, jan6+3600, bufs)
+	got, err := e.CollectInto(context.Background(), b, jan6, jan6+3600, bufs)
 	if err != nil {
 		t.Fatal(err)
 	}
