@@ -36,5 +36,13 @@ fsck: build
 experiments:
 	$(GO) run ./cmd/experiments
 
+# bench runs every benchmark in the repo with allocation reporting and
+# records the machine-readable summary (ns/op, B/op, allocs/op) in
+# $(BENCH_JSON) via cmd/benchjson; the usual text output still streams to
+# the terminal. The default single-iteration run keeps the full-world
+# benchmarks affordable; override BENCH_ARGS (e.g. -benchtime=2s
+# -bench=Periodogram) for steady-state numbers on a chosen subset.
+BENCH_JSON ?= BENCH_3.json
+BENCH_ARGS ?= -benchtime=1x
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x
+	$(GO) test -run='^$$' -bench=. -benchmem $(BENCH_ARGS) ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)

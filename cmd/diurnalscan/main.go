@@ -34,6 +34,7 @@ import (
 	"github.com/diurnalnet/diurnal"
 	"github.com/diurnalnet/diurnal/internal/changepoint"
 	"github.com/diurnalnet/diurnal/internal/dataset"
+	"github.com/diurnalnet/diurnal/internal/profiling"
 	"github.com/diurnalnet/diurnal/internal/render"
 )
 
@@ -60,6 +61,8 @@ func main() {
 	resumePath := flag.String("resume", "", "journal finished blocks to this file and resume from it after a crash")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (e.g. 10m); finished blocks stay journaled with -resume")
 	verifyDir := flag.String("verify", "", "fsck an archived dataset store at this directory and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the world run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile after the world run to this file")
 	flag.Parse()
 
 	if *verifyDir != "" {
@@ -117,8 +120,16 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	began := time.Now()
 	report, err := world.RunContext(ctx, cfg, diurnal.RunOptions{CheckpointPath: *resumePath})
+	if perr := stopProfiles(); perr != nil {
+		fmt.Fprintln(os.Stderr, perr)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		if *resumePath != "" && ctx.Err() != nil {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/diurnalnet/diurnal/internal/experiments"
+	"github.com/diurnalnet/diurnal/internal/profiling"
 )
 
 type experiment struct {
@@ -75,6 +76,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	only := flag.String("only", "", "comma-separated experiment names (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile after the experiments to this file")
 	flag.Parse()
 
 	cat := catalog()
@@ -102,6 +105,11 @@ func main() {
 			}
 		}
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	opts := experiments.Options{Blocks: *blocks, Seed: *seed}
 	failed := false
 	for _, e := range cat {
@@ -116,6 +124,10 @@ func main() {
 			continue
 		}
 		fmt.Printf("==== %s (%.1fs) ====\n%s\n", e.name, time.Since(started).Seconds(), res)
+	}
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		failed = true
 	}
 	if failed {
 		os.Exit(1)

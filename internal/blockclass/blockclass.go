@@ -114,11 +114,36 @@ type Result struct {
 	ChangeSensitive bool
 }
 
+// Scratch holds the reusable working state of ClassifyScratch: the DSP
+// scratch (FFT plans and periodogram buffers) and the segment resampling
+// buffers. A zero Scratch is not usable — construct with NewScratch. Not
+// safe for concurrent use; the pipeline gives each worker its own.
+type Scratch struct {
+	DSP      *dsp.Scratch
+	Resample reconstruct.ResampleScratch
+}
+
+// NewScratch returns an empty classification scratch.
+func NewScratch() *Scratch {
+	return &Scratch{DSP: dsp.NewScratch()}
+}
+
 // Classify evaluates a reconstructed series over [start, end) against the
 // thresholds. It returns an error only for invalid configuration; an
 // empty or flat series simply classifies as not change-sensitive.
 func Classify(series *reconstruct.Series, start, end int64, cfg Config) (Result, error) {
+	return ClassifyScratch(series, start, end, cfg, nil)
+}
+
+// ClassifyScratch is Classify reusing sc's buffers and cached FFT plans
+// across calls; sc may be nil, in which case a throwaway scratch is built.
+// The hot path — one 28-day segment resample plus one periodogram feeding
+// both the score and the SNR — allocates nothing on a warm scratch.
+func ClassifyScratch(series *reconstruct.Series, start, end int64, cfg Config, sc *Scratch) (Result, error) {
 	cfg = cfg.withDefaults()
+	if sc == nil {
+		sc = NewScratch()
+	}
 	if cfg.MinSwingDays > cfg.WindowDays {
 		return Result{}, fmt.Errorf("blockclass: MinSwingDays %d > WindowDays %d", cfg.MinSwingDays, cfg.WindowDays)
 	}
@@ -159,23 +184,22 @@ func Classify(series *reconstruct.Series, start, end int64, cfg Config) (Result,
 		if segEnd-segStart < 2*86400 {
 			continue
 		}
-		resampled := series.Resample(segStart, segEnd, cfg.SampleStep)
+		resampled := series.ResampleInto(&sc.Resample, segStart, segEnd, cfg.SampleStep)
 		if resampled == nil {
 			continue
 		}
-		score, errScore := dsp.DiurnalScore(resampled, opts)
-		snr, errSNR := dsp.DiurnalSNR(resampled, opts)
-		if errScore != nil || errSNR != nil {
+		st, err := sc.DSP.DiurnalStats(resampled, opts)
+		if err != nil {
 			continue
 		}
-		if !evaluated || score < res.DiurnalScore {
-			res.DiurnalScore = score
+		if !evaluated || st.Score < res.DiurnalScore {
+			res.DiurnalScore = st.Score
 		}
-		if !evaluated || snr < res.SNR {
-			res.SNR = snr
+		if !evaluated || st.SNR < res.SNR {
+			res.SNR = st.SNR
 		}
 		evaluated = true
-		if score < cfg.DiurnalThreshold || snr < cfg.DiurnalSNR {
+		if st.Score < cfg.DiurnalThreshold || st.SNR < cfg.DiurnalSNR {
 			allPass = false
 		}
 	}

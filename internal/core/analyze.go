@@ -274,11 +274,18 @@ func (cfg Config) AnalyzeSeries(series *reconstruct.Series) (*BlockAnalysis, err
 }
 
 func (cfg Config) analyzeSeries(series *reconstruct.Series, outages []outage.Interval, san reconstruct.SanitizeReport) (*BlockAnalysis, error) {
+	return cfg.analyzeSeriesScratch(series, outages, san, nil)
+}
+
+func (cfg Config) analyzeSeriesScratch(series *reconstruct.Series, outages []outage.Interval, san reconstruct.SanitizeReport, sc *Scratch) (*BlockAnalysis, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	cls, err := blockclass.Classify(series, cfg.BaselineStart, cfg.BaselineEnd, cfg.Class)
+	if sc == nil {
+		sc = NewScratch()
+	}
+	cls, err := blockclass.ClassifyScratch(series, cfg.BaselineStart, cfg.BaselineEnd, cfg.Class, sc.class)
 	if err != nil {
 		return nil, err
 	}
@@ -293,7 +300,7 @@ func (cfg Config) analyzeSeries(series *reconstruct.Series, outages []outage.Int
 	if !cls.ChangeSensitive {
 		return out, nil
 	}
-	if err := cfg.analyzeTrend(out); err != nil {
+	if err := cfg.analyzeTrend(out, sc); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -330,7 +337,7 @@ func (cfg Config) detectOutages(merged []probe.Record) []outage.Interval {
 // "a daily and possibly weekly signal" (§2.5), and a weekly period absorbs
 // both the five workday bumps and the weekend flats (Figure 1a) so the
 // trend carries only the long-term baseline.
-func (cfg Config) analyzeTrend(out *BlockAnalysis) error {
+func (cfg Config) analyzeTrend(out *BlockAnalysis, sc *Scratch) error {
 	maxGap := int64(cfg.MaxGapHours) * 3600
 	if cfg.MaxGapHours < 0 {
 		maxGap = 0
@@ -355,8 +362,11 @@ func (cfg Config) analyzeTrend(out *BlockAnalysis) error {
 	// Periodic seasonal: level changes go to the trend, matching the
 	// paper's Figure 1b decomposition.
 	opts.Periodic = true
-	dec, err := stl.Decompose(resampled, opts)
-	if err != nil {
+	// The decomposition runs in the worker's reusable workspace, but the
+	// Result is fresh per block: its Trend and Seasonal slices are retained
+	// in the BlockAnalysis beyond this call, so they must not alias scratch.
+	var dec stl.Result
+	if err := sc.stl.DecomposeInto(&dec, resampled, opts); err != nil {
 		return fmt.Errorf("core: stl: %w", err)
 	}
 	out.Resampled = resampled
@@ -520,14 +530,29 @@ func (cfg Config) toWallClock(changes []changepoint.Change, a *BlockAnalysis) []
 	return out
 }
 
-// scratch holds reusable probe/merge buffers; pooled so world-scale runs
-// do not reallocate tens of megabytes per block.
-type scratch struct {
+// Scratch holds one worker's reusable analysis state: the probe/merge
+// record buffers, the classifier's cached FFT plans and resample buffers,
+// and the STL workspace. A world-scale run hands each worker goroutine its
+// own Scratch (Pipeline.Run does), so the per-block hot path allocates only
+// for outputs that outlive the block; everything length-dependent is paid
+// once per distinct series length. A Scratch is not safe for concurrent
+// use — per-worker ownership, not a shared locked cache, is the design
+// (see DESIGN.md).
+type Scratch struct {
 	perObs [][]probe.Record
 	merged []probe.Record
+	class  *blockclass.Scratch
+	stl    stl.Workspace
 }
 
-var scratchPool = sync.Pool{New: func() interface{} { return &scratch{} }}
+// NewScratch returns an empty Scratch; caches warm up lazily.
+func NewScratch() *Scratch {
+	return &Scratch{class: blockclass.NewScratch()}
+}
+
+// scratchPool backs the convenience entry points (AnalyzeBlock,
+// AnalyzeBlockContext) that don't manage worker lifetimes themselves.
+var scratchPool = sync.Pool{New: func() interface{} { return NewScratch() }}
 
 // AnalyzeBlock probes a block with the engine over the analysis window and
 // analyzes the resulting streams — the common entry point for a fully
@@ -541,6 +566,16 @@ func (cfg Config) AnalyzeBlock(eng Prober, b *netsim.Block) (*BlockAnalysis, err
 // the prober's collection loop, so a canceled or expired context aborts
 // the probe promptly and surfaces ctx's error.
 func (cfg Config) AnalyzeBlockContext(ctx context.Context, eng Prober, b *netsim.Block) (*BlockAnalysis, error) {
+	sc := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(sc)
+	return cfg.AnalyzeBlockScratch(ctx, eng, b, sc)
+}
+
+// AnalyzeBlockScratch is AnalyzeBlockContext reusing sc's buffers, plans
+// and workspaces across calls; sc may be nil for a one-shot analysis.
+// Callers that loop over many blocks (pipeline workers) hold one Scratch
+// per goroutine.
+func (cfg Config) AnalyzeBlockScratch(ctx context.Context, eng Prober, b *netsim.Block, sc *Scratch) (*BlockAnalysis, error) {
 	c := cfg.withDefaults()
 	if err := c.validate(); err != nil {
 		return nil, err
@@ -549,8 +584,9 @@ func (cfg Config) AnalyzeBlockContext(ctx context.Context, eng Prober, b *netsim
 	if len(eb) == 0 {
 		return &BlockAnalysis{Series: &reconstruct.Series{}}, nil
 	}
-	sc := scratchPool.Get().(*scratch)
-	defer scratchPool.Put(sc)
+	if sc == nil {
+		sc = NewScratch()
+	}
 	var err error
 	sc.perObs, err = eng.CollectInto(ctx, b, c.AnalysisStart, c.AnalysisEnd, sc.perObs)
 	if err != nil {
@@ -570,5 +606,5 @@ func (cfg Config) AnalyzeBlockContext(ctx context.Context, eng Prober, b *netsim
 	if err != nil {
 		return nil, err
 	}
-	return c.analyzeSeries(series, c.detectOutages(sc.merged), san)
+	return c.analyzeSeriesScratch(series, c.detectOutages(sc.merged), san, sc)
 }

@@ -198,6 +198,10 @@ func (p *Pipeline) Run(ctx context.Context, world []*dataset.WorldBlock) (*World
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns its scratch outright: no pool round-trips, no
+			// locks, and the FFT-plan/workspace caches stay warm for the
+			// worker's whole share of the world.
+			sc := NewScratch()
 			for i := range jobs {
 				wb := world[i]
 				if p.Checkpoint != nil {
@@ -209,7 +213,7 @@ func (p *Pipeline) Run(ctx context.Context, world []*dataset.WorldBlock) (*World
 						continue
 					}
 				}
-				analysis, attempts, err := p.analyzeBlock(ctx, eng, wb)
+				analysis, attempts, err := p.analyzeBlock(ctx, eng, wb, sc)
 				if attempts > 1 {
 					mu.Lock()
 					retried++
@@ -276,7 +280,7 @@ dispatch:
 // analyzeBlock runs one block with panic containment, a per-block
 // deadline, and bounded retry-with-backoff for transient prober errors.
 // attempts reports how many attempts ran.
-func (p *Pipeline) analyzeBlock(ctx context.Context, eng Prober, wb *dataset.WorldBlock) (a *BlockAnalysis, attempts int, err error) {
+func (p *Pipeline) analyzeBlock(ctx context.Context, eng Prober, wb *dataset.WorldBlock, sc *Scratch) (a *BlockAnalysis, attempts int, err error) {
 	retries := p.MaxRetries
 	switch {
 	case retries == 0:
@@ -290,7 +294,7 @@ func (p *Pipeline) analyzeBlock(ctx context.Context, eng Prober, wb *dataset.Wor
 	}
 	for {
 		attempts++
-		a, err = p.analyzeOnce(ctx, eng, wb)
+		a, err = p.analyzeOnce(ctx, eng, wb, sc)
 		if err == nil || !IsTransient(err) || attempts > retries || ctx.Err() != nil {
 			return a, attempts, err
 		}
@@ -306,7 +310,7 @@ func (p *Pipeline) analyzeBlock(ctx context.Context, eng Prober, wb *dataset.Wor
 // analyzeOnce is a single attempt: it applies the per-block deadline and
 // converts a worker panic into a PanicError, so one pathological block
 // becomes one BlockError instead of killing the world run.
-func (p *Pipeline) analyzeOnce(ctx context.Context, eng Prober, wb *dataset.WorldBlock) (a *BlockAnalysis, err error) {
+func (p *Pipeline) analyzeOnce(ctx context.Context, eng Prober, wb *dataset.WorldBlock, sc *Scratch) (a *BlockAnalysis, err error) {
 	if p.BlockTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, p.BlockTimeout)
@@ -317,7 +321,7 @@ func (p *Pipeline) analyzeOnce(ctx context.Context, eng Prober, wb *dataset.Worl
 			a, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
-	return p.Config.AnalyzeBlockContext(ctx, eng, wb.Block)
+	return p.Config.AnalyzeBlockScratch(ctx, eng, wb.Block, sc)
 }
 
 // suspectObservers samples reply rates across the world and returns the

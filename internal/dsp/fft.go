@@ -8,33 +8,30 @@
 // corresponding to 24 hours, or harmonics of that frequency". This package
 // implements exactly that test, from scratch, on top of the standard
 // library only.
+//
+// Two API layers coexist. The plan layer (Plan, RealPlan, Scratch) caches
+// everything that depends only on the transform length and writes into
+// reusable buffers, so a worker that analyzes millions of blocks pays the
+// trigonometry and allocation once per distinct series length. The legacy
+// one-shot functions below (FFT, IFFT, Periodogram, DiurnalScore,
+// DiurnalSNR) remain for convenience and compatibility; each is a thin
+// wrapper that builds a throwaway plan, and produces results bit-identical
+// to the plan layer.
 package dsp
-
-import (
-	"fmt"
-	"math"
-	"math/bits"
-	"math/cmplx"
-	"sort"
-)
 
 // FFT returns the discrete Fourier transform of x. The input may have any
 // length: power-of-two lengths use an in-place iterative radix-2
 // Cooley-Tukey transform, and other lengths use Bluestein's chirp-z
 // algorithm (which internally pads to a power of two). The input slice is
-// not modified.
+// not modified. Repeated transforms of the same length should use a Plan.
 func FFT(x []complex128) []complex128 {
 	n := len(x)
 	if n == 0 {
 		return nil
 	}
 	out := make([]complex128, n)
-	copy(out, x)
-	if n&(n-1) == 0 {
-		fftPow2(out, false)
-		return out
-	}
-	return bluestein(out, false)
+	NewPlan(n).Transform(out, x)
+	return out
 }
 
 // IFFT returns the inverse discrete Fourier transform of x, normalized by
@@ -45,16 +42,7 @@ func IFFT(x []complex128) []complex128 {
 		return nil
 	}
 	out := make([]complex128, n)
-	copy(out, x)
-	if n&(n-1) == 0 {
-		fftPow2(out, true)
-	} else {
-		out = bluestein(out, true)
-	}
-	inv := complex(1/float64(n), 0)
-	for i := range out {
-		out[i] *= inv
-	}
+	NewPlan(n).InverseInto(out, x)
 	return out
 }
 
@@ -68,112 +56,19 @@ func FFTReal(x []float64) []complex128 {
 	return FFT(cx)
 }
 
-// fftPow2 computes an in-place radix-2 FFT. len(x) must be a power of two.
-// If inverse is true the conjugate transform is computed (no 1/N scaling).
-func fftPow2(x []complex128, inverse bool) {
-	n := len(x)
-	if n <= 1 {
-		return
-	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size / 2
-		ang := sign * 2 * math.Pi / float64(size)
-		wStep := cmplx.Rect(1, ang)
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				even := x[start+k]
-				odd := x[start+k+half] * w
-				x[start+k] = even + odd
-				x[start+k+half] = even - odd
-				w *= wStep
-			}
-		}
-	}
-}
-
-// bluestein computes a DFT of arbitrary length via the chirp-z transform,
-// expressing the DFT as a convolution that is evaluated with power-of-two
-// FFTs. It returns a freshly allocated slice.
-func bluestein(x []complex128, inverse bool) []complex128 {
-	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// Chirp: w[k] = exp(sign*i*pi*k^2/n). Use k^2 mod 2n to keep the
-	// argument small and the chirp exactly periodic.
-	chirp := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
-	}
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
-		bc := cmplx.Conj(chirp[k])
-		b[k] = bc
-		if k > 0 {
-			b[m-k] = bc
-		}
-	}
-	fftPow2(a, false)
-	fftPow2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	fftPow2(a, true)
-	scale := complex(1/float64(m), 0)
-	out := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		out[k] = a[k] * scale * chirp[k]
-	}
-	return out
-}
-
 // Periodogram returns the one-sided power spectral estimate |X_k|^2 / N for
 // k = 0..N/2 of the real series x, after removing the mean (so the DC bin
-// reflects only numerical residue, not the series offset).
+// reflects only numerical residue, not the series offset). Repeated
+// periodograms should go through a Scratch, which caches the plan and the
+// output buffer.
 func Periodogram(x []float64) []float64 {
-	n := len(x)
-	if n == 0 {
+	if len(x) == 0 {
 		return nil
 	}
-	mean := 0.0
-	for _, v := range x {
-		mean += v
-	}
-	mean /= float64(n)
-	cx := make([]complex128, n)
-	for i, v := range x {
-		cx[i] = complex(v-mean, 0)
-	}
-	spec := FFT(cx)
-	half := n/2 + 1
-	p := make([]float64, half)
-	for k := 0; k < half; k++ {
-		re := real(spec[k])
-		im := imag(spec[k])
-		p[k] = (re*re + im*im) / float64(n)
-	}
-	return p
+	p := NewScratch().Periodogram(x)
+	out := make([]float64, len(p))
+	copy(out, p)
+	return out
 }
 
 // DiurnalScoreOpts configures the diurnal-energy test.
@@ -205,57 +100,21 @@ func DefaultDiurnalOpts() DiurnalScoreOpts {
 	}
 }
 
+// DiurnalStats evaluates the diurnal test with a throwaway scratch; see
+// Scratch.DiurnalStats for the reusable-buffer form the pipeline uses.
+func DiurnalStats(x []float64, opts DiurnalScoreOpts) (Stats, error) {
+	return NewScratch().DiurnalStats(x, opts)
+}
+
 // DiurnalScore returns the fraction of non-DC spectral energy that lies at
 // the target period and its harmonics: a value in [0, 1]. A pure sinusoid
 // at 24 h scores ~1; white noise scores near the fraction of bins counted.
 // It returns an error when the series is shorter than two periods, because
-// the fundamental is then unresolvable.
+// the fundamental is then unresolvable. Callers that also need the SNR
+// should use DiurnalStats, which computes both from one periodogram.
 func DiurnalScore(x []float64, opts DiurnalScoreOpts) (float64, error) {
-	if opts.SampleInterval <= 0 || opts.Period <= 0 {
-		return 0, fmt.Errorf("dsp: non-positive interval or period")
-	}
-	if opts.Harmonics <= 0 {
-		opts.Harmonics = 3
-	}
-	if opts.Tolerance <= 0 {
-		opts.Tolerance = 1
-	}
-	n := len(x)
-	need := int(2 * opts.Period / opts.SampleInterval)
-	if n < need {
-		return 0, fmt.Errorf("dsp: series of %d samples is shorter than two periods (%d samples)", n, need)
-	}
-	p := Periodogram(x)
-	total := 0.0
-	for k := 1; k < len(p); k++ {
-		total += p[k]
-	}
-	if total == 0 {
-		return 0, nil
-	}
-	// Fundamental bin: k = N * interval / period.
-	fund := float64(n) * opts.SampleInterval / opts.Period
-	inBand := make(map[int]bool)
-	var bins []int
-	for h := 1; h <= opts.Harmonics; h++ {
-		center := int(math.Round(fund * float64(h)))
-		for d := -opts.Tolerance; d <= opts.Tolerance; d++ {
-			k := center + d
-			if k >= 1 && k < len(p) && !inBand[k] {
-				inBand[k] = true
-				bins = append(bins, k)
-			}
-		}
-	}
-	// Sum in ascending bin order: ranging over the map would randomize the
-	// floating-point summation order and make the score differ in the last
-	// ulp between otherwise identical runs.
-	sort.Ints(bins)
-	band := 0.0
-	for _, k := range bins {
-		band += p[k]
-	}
-	return band / total, nil
+	st, err := DiurnalStats(x, opts)
+	return st.Score, err
 }
 
 // DiurnalSNR returns the contrast between the 24-hour harmonics and the
@@ -266,76 +125,6 @@ func DiurnalScore(x []float64, opts DiurnalScoreOpts) (float64, error) {
 // creating a sharp 24 h peak). A clean diurnal block scores in the
 // hundreds; noise scores near 1.
 func DiurnalSNR(x []float64, opts DiurnalScoreOpts) (float64, error) {
-	if opts.SampleInterval <= 0 || opts.Period <= 0 {
-		return 0, fmt.Errorf("dsp: non-positive interval or period")
-	}
-	if opts.Harmonics <= 0 {
-		opts.Harmonics = 3
-	}
-	if opts.Tolerance <= 0 {
-		opts.Tolerance = 1
-	}
-	n := len(x)
-	need := int(2 * opts.Period / opts.SampleInterval)
-	if n < need {
-		return 0, fmt.Errorf("dsp: series of %d samples is shorter than two periods (%d samples)", n, need)
-	}
-	p := Periodogram(x)
-	fund := float64(n) * opts.SampleInterval / opts.Period
-	inBand := make(map[int]bool)
-	band := 0.0
-	nBand := 0
-	for h := 1; h <= opts.Harmonics; h++ {
-		center := int(math.Round(fund * float64(h)))
-		// Take the strongest bin within tolerance of each harmonic (the
-		// peak), tolerating leakage from non-integer cycle counts.
-		best := 0.0
-		found := false
-		for d := -opts.Tolerance; d <= opts.Tolerance; d++ {
-			k := center + d
-			if k >= 1 && k < len(p) {
-				inBand[k] = true
-				if p[k] > best {
-					best = p[k]
-					found = true
-				}
-			}
-		}
-		if found {
-			band += best
-			nBand++
-		}
-	}
-	if nBand == 0 {
-		return 0, nil
-	}
-	band /= float64(nBand)
-	// Neighbourhood: low-frequency region around the harmonics, excluding
-	// the band bins themselves.
-	lo := int(math.Round(fund / 2))
-	hi := int(math.Round(fund * (float64(opts.Harmonics) + 0.5)))
-	if lo < 1 {
-		lo = 1
-	}
-	if hi >= len(p) {
-		hi = len(p) - 1
-	}
-	var neigh []float64
-	for k := lo; k <= hi; k++ {
-		if !inBand[k] {
-			neigh = append(neigh, p[k])
-		}
-	}
-	if len(neigh) == 0 {
-		return 0, nil
-	}
-	sort.Float64s(neigh)
-	med := neigh[len(neigh)/2]
-	if med == 0 {
-		if band == 0 {
-			return 0, nil
-		}
-		return math.Inf(1), nil
-	}
-	return band / med, nil
+	st, err := DiurnalStats(x, opts)
+	return st.SNR, err
 }

@@ -1,0 +1,51 @@
+// Package profiling wires the -cpuprofile / -memprofile flags of the
+// command-line tools to runtime/pprof, so a slow world run can be taken
+// straight to `go tool pprof` without rebuilding the binary as a test.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath when non-empty. The returned stop
+// function ends the CPU profile and, when memPath is non-empty, forces a GC
+// and writes a heap profile there. Call stop exactly once, after the
+// workload of interest; either path may be empty to skip that profile.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			defer f.Close()
+			// A GC beforehand makes the heap profile reflect live objects
+			// rather than whatever garbage the last cycle left behind.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

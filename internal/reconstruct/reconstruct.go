@@ -8,7 +8,6 @@
 package reconstruct
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -78,6 +77,9 @@ func (r *SanitizeReport) Merge(o SanitizeReport) {
 // kept. The returned slice aliases records. A clean stream passes through
 // untouched with a zero report, so the pass is safe to run unconditionally.
 func Sanitize(records []probe.Record, start, end int64) ([]probe.Record, SanitizeReport) {
+	if sanitizeClean(records, start, end) {
+		return records, SanitizeReport{}
+	}
 	var rep SanitizeReport
 	kept := records[:0]
 	for _, r := range records {
@@ -128,31 +130,38 @@ func Sanitize(records []probe.Record, start, end int64) ([]probe.Record, Sanitiz
 	return out, rep
 }
 
-// recHeap implements a k-way merge over per-observer sorted record slices.
-type recHeap struct {
-	heads   []int
-	streams [][]probe.Record
-	order   []int // heap of stream indices
-}
-
-func (h *recHeap) Len() int { return len(h.order) }
-func (h *recHeap) Less(i, j int) bool {
-	a, b := h.order[i], h.order[j]
-	ra := h.streams[a][h.heads[a]]
-	rb := h.streams[b][h.heads[b]]
-	if ra.T != rb.T {
-		return ra.T < rb.T
+// sanitizeClean reports whether the stream is already sane — in window,
+// time-ordered, no repeated (time, address) pairs within a round — with a
+// single read-only pass. Healthy collectors produce clean streams almost
+// always, and skipping the rewriting passes there roughly halves the cost
+// of unconditional sanitization.
+func sanitizeClean(records []probe.Record, start, end int64) bool {
+	var seen [256]bool
+	var touched [256]uint8 // a clean run holds each address at most once
+	nt := 0
+	for i, r := range records {
+		if r.T < start || r.T >= end {
+			return false
+		}
+		if i > 0 {
+			if r.T < records[i-1].T {
+				return false
+			}
+			if r.T != records[i-1].T {
+				for _, a := range touched[:nt] {
+					seen[a] = false
+				}
+				nt = 0
+			}
+		}
+		if seen[r.Addr] {
+			return false
+		}
+		seen[r.Addr] = true
+		touched[nt] = r.Addr
+		nt++
 	}
-	return a < b
-}
-func (h *recHeap) Swap(i, j int)      { h.order[i], h.order[j] = h.order[j], h.order[i] }
-func (h *recHeap) Push(x interface{}) { h.order = append(h.order, x.(int)) }
-func (h *recHeap) Pop() interface{} {
-	old := h.order
-	n := len(old)
-	x := old[n-1]
-	h.order = old[:n-1]
-	return x
+	return true
 }
 
 // Merge interleaves per-observer record streams into one time-ordered
@@ -162,34 +171,61 @@ func Merge(perObserver [][]probe.Record) []probe.Record {
 	return MergeInto(nil, perObserver)
 }
 
-// MergeInto is Merge reusing dst's capacity.
+// MergeInto is Merge reusing dst's capacity. The merge is a direct min-scan
+// over the stream heads: with a handful of observers (the paper uses six
+// sites at most) that beats a binary heap, whose interface-dispatched
+// comparisons dominated the merge in profiles, while producing the
+// identical record order (time-sorted, ties by stream index).
 func MergeInto(dst []probe.Record, perObserver [][]probe.Record) []probe.Record {
 	total := 0
 	for _, s := range perObserver {
 		total += len(s)
 	}
-	h := &recHeap{heads: make([]int, len(perObserver)), streams: perObserver}
-	for i, s := range perObserver {
-		if len(s) > 0 {
-			h.order = append(h.order, i)
-		}
-	}
-	heap.Init(h)
 	out := dst[:0]
 	if cap(out) < total {
 		out = make([]probe.Record, 0, total)
 	}
-	for h.Len() > 0 {
-		i := h.order[0]
-		out = append(out, h.streams[i][h.heads[i]])
-		h.heads[i]++
-		if h.heads[i] >= len(h.streams[i]) {
-			heap.Pop(h)
-		} else {
-			heap.Fix(h, 0)
+	k := len(perObserver)
+	var headsArr [8]int
+	var heads []int
+	if k <= len(headsArr) {
+		heads = headsArr[:k]
+		for i := range heads {
+			heads[i] = 0
 		}
+	} else {
+		heads = make([]int, k)
 	}
-	return out
+	for {
+		best := -1
+		var bestT int64
+		for i := 0; i < k; i++ {
+			s := perObserver[i]
+			if heads[i] >= len(s) {
+				continue
+			}
+			if t := s[heads[i]].T; best == -1 || t < bestT {
+				best, bestT = i, t
+			}
+		}
+		if best == -1 {
+			return out
+		}
+		// Emit the winning stream's whole run of equal timestamps at once.
+		// A probing round leaves one record per probed address with the same
+		// T, so runs are long; under the (T, stream index) order the entire
+		// run precedes every other stream's records — lower-index streams
+		// hold only later timestamps (they lost the scan), and equal-T
+		// records in higher-index streams sort after by the tie-break.
+		s := perObserver[best]
+		h := heads[best]
+		j := h + 1
+		for j < len(s) && s[j].T == bestT {
+			j++
+		}
+		out = append(out, s[h:j]...)
+		heads[best] = j
+	}
 }
 
 // Series is a reconstructed active-address count over time: one point per
@@ -324,6 +360,78 @@ func (s *Series) Resample(start, end, step int64) []float64 {
 	return vals
 }
 
+// ResampleScratch holds the working buffers of ResampleInto so repeated
+// resampling (the block classifier resamples every 28-day segment of every
+// block) reuses memory instead of allocating three slices per call. Not
+// safe for concurrent use.
+type ResampleScratch struct {
+	sums   []float64
+	counts []int
+	out    []float64
+}
+
+// ResampleInto is Resample writing into scratch-owned buffers. The returned
+// slice is valid until the next call with the same scratch; it must not be
+// retained. Semantics are identical to Resample (no gap marking).
+func (s *Series) ResampleInto(sc *ResampleScratch, start, end, step int64) []float64 {
+	if s.Len() == 0 || end <= start || step <= 0 {
+		return nil
+	}
+	n := int((end - start + step - 1) / step)
+	if cap(sc.sums) < n {
+		sc.sums = make([]float64, n)
+		sc.counts = make([]int, n)
+		sc.out = make([]float64, n)
+	}
+	sums := sc.sums[:n]
+	counts := sc.counts[:n]
+	out := sc.out[:n]
+	for i := range sums {
+		sums[i] = 0
+		counts[i] = 0
+	}
+	if !s.resampleMeans(sums, counts, out, start, end, step) {
+		return nil
+	}
+	return out
+}
+
+// resampleMeans bins the series into the pre-sized (and zeroed) sums/counts
+// buffers, then fills out with per-bin means, carrying values forward over
+// empty bins and backfilling leading ones. Returns false when no point
+// falls inside the window.
+func (s *Series) resampleMeans(sums []float64, counts []int, out []float64, start, end, step int64) bool {
+	n := len(out)
+	for i, t := range s.Times {
+		if t < start || t >= end {
+			continue
+		}
+		bin := int((t - start) / step)
+		sums[bin] += s.Counts[i]
+		counts[bin]++
+	}
+	first := -1
+	for i := 0; i < n; i++ {
+		if counts[i] > 0 {
+			out[i] = sums[i] / float64(counts[i])
+			if first == -1 {
+				first = i
+			}
+		} else if first >= 0 {
+			out[i] = out[i-1]
+		} else {
+			out[i] = 0
+		}
+	}
+	if first == -1 {
+		return false
+	}
+	for i := 0; i < first; i++ {
+		out[i] = out[first]
+	}
+	return true
+}
+
 // ResampleWithGaps is Resample plus a per-bin confidence mask: conf[i] is
 // false when bin i holds no measurement and the nearest measured bin (in
 // either direction) is more than maxGap seconds away — the value was
@@ -338,31 +446,9 @@ func (s *Series) ResampleWithGaps(start, end, step, maxGap int64) ([]float64, []
 	n := int((end - start + step - 1) / step)
 	sums := make([]float64, n)
 	counts := make([]int, n)
-	for i, t := range s.Times {
-		if t < start || t >= end {
-			continue
-		}
-		bin := int((t - start) / step)
-		sums[bin] += s.Counts[i]
-		counts[bin]++
-	}
 	out := make([]float64, n)
-	first := -1
-	for i := 0; i < n; i++ {
-		if counts[i] > 0 {
-			out[i] = sums[i] / float64(counts[i])
-			if first == -1 {
-				first = i
-			}
-		} else if first >= 0 {
-			out[i] = out[i-1]
-		}
-	}
-	if first == -1 {
+	if !s.resampleMeans(sums, counts, out, start, end, step) {
 		return nil, nil
-	}
-	for i := 0; i < first; i++ {
-		out[i] = out[first]
 	}
 	conf := make([]bool, n)
 	if maxGap <= 0 {

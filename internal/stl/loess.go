@@ -10,6 +10,40 @@ import (
 	"math"
 )
 
+// loessWindow picks the window [lo, lo+q) of the q nearest integer
+// positions to at, and the kernel bandwidth dmax — shared by the one-shot
+// and table-driven fits so both see identical windows.
+func loessWindow(n, span int, at float64) (lo, q int, dmax float64) {
+	q = span
+	if q > n {
+		q = n
+	}
+	lo = int(math.Round(at)) - q/2
+	if lo < 0 {
+		lo = 0
+	}
+	if lo+q > n {
+		lo = n - q
+	}
+	// Slide the window to actually contain the q nearest points.
+	for lo > 0 && at-float64(lo-1) < float64(lo+q-1)-at {
+		lo--
+	}
+	for lo+q < n && float64(lo+q)-at < at-float64(lo) {
+		lo++
+	}
+	dmax = math.Max(at-float64(lo), float64(lo+q-1)-at)
+	if span > n {
+		// Cleveland's span inflation: for q > n the bandwidth grows
+		// proportionally, flattening the fit toward a global polynomial.
+		dmax *= float64(span) / float64(n)
+	}
+	if dmax <= 0 {
+		dmax = 1
+	}
+	return lo, q, dmax
+}
+
 // loessFitAt evaluates a locally weighted polynomial regression of y
 // (observed at integer positions 0..len(y)-1) at position at. span is the
 // number of nearest neighbours included; degree is 0, 1 or 2. rho, when
@@ -28,34 +62,7 @@ func loessFitAt(y []float64, rho []float64, span, degree int, at float64) float6
 	if span < 2 {
 		span = 2
 	}
-	q := span
-	if q > n {
-		q = n
-	}
-	// Window of the q nearest integer positions to at.
-	lo := int(math.Round(at)) - q/2
-	if lo < 0 {
-		lo = 0
-	}
-	if lo+q > n {
-		lo = n - q
-	}
-	// Slide the window to actually contain the q nearest points.
-	for lo > 0 && at-float64(lo-1) < float64(lo+q-1)-at {
-		lo--
-	}
-	for lo+q < n && float64(lo+q)-at < at-float64(lo) {
-		lo++
-	}
-	dmax := math.Max(at-float64(lo), float64(lo+q-1)-at)
-	if span > n {
-		// Cleveland's span inflation: for q > n the bandwidth grows
-		// proportionally, flattening the fit toward a global polynomial.
-		dmax *= float64(span) / float64(n)
-	}
-	if dmax <= 0 {
-		dmax = 1
-	}
+	lo, q, dmax := loessWindow(n, span, at)
 
 	// Weighted least squares of the chosen degree via normal equations.
 	var s [5]float64 // sums of w * x^k, k = 0..4
@@ -84,6 +91,12 @@ func loessFitAt(y []float64, rho []float64, span, degree int, at float64) float6
 			xp *= x
 		}
 	}
+	return solveLocalFit(y, lo, q, degree, &s, &t)
+}
+
+// solveLocalFit turns the accumulated normal-equation sums into the fitted
+// value at the (centered) evaluation point.
+func solveLocalFit(y []float64, lo, q, degree int, s *[5]float64, t *[3]float64) float64 {
 	if s[0] == 0 {
 		// All weights vanished (can happen when robustness weights zero out
 		// the whole window); fall back to the unweighted window mean.
@@ -124,11 +137,88 @@ func loessFitAt(y []float64, rho []float64, span, degree int, at float64) float6
 // value at every position. span is the neighbourhood size in points and
 // degree the local polynomial degree (0, 1 or 2). rho may be nil.
 func Loess(y []float64, span, degree int, rho []float64) []float64 {
+	var ws Workspace
 	out := make([]float64, len(y))
-	for i := range y {
-		out[i] = loessFitAt(y, rho, span, degree, float64(i))
-	}
+	ws.loessInto(out, y, span, degree, rho)
 	return out
+}
+
+// loessInto fills dst (len(y)) with the LOESS smoothing of y. Interior
+// points — where the window is centered and the bandwidth is the common
+// interior dmax — share one precomputed tricube weight table and a
+// degree-specialized accumulation loop; edge points (and degrees other
+// than 1) fall back to the general one-shot fit. Both paths perform the
+// same floating-point operations in the same order as the historic
+// per-point fit, so the output is bit-identical.
+func (ws *Workspace) loessInto(dst, y []float64, span, degree int, rho []float64) {
+	n := len(y)
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		dst[0] = y[0]
+		return
+	}
+	if span < 2 {
+		span = 2
+	}
+	// The table covers the bandwidth of a mid-series point; every point
+	// whose window computation lands on the same dmax can use it.
+	_, _, tabDmax := loessWindow(n, span, float64(n/2))
+	var tab []float64
+	if degree == 1 {
+		nd := int(tabDmax) + 1
+		if nd > 0 && nd <= n+1 {
+			tab = resize(&ws.tricube, nd)
+			for d := 0; d < nd; d++ {
+				u := float64(d) / tabDmax
+				if u >= 1 {
+					tab[d] = 0
+					continue
+				}
+				w := 1 - u*u*u
+				tab[d] = w * w * w
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		at := float64(i)
+		lo, q, dmax := loessWindow(n, span, at)
+		if tab == nil || dmax != tabDmax || float64(int(dmax)) != dmax {
+			dst[i] = loessFitAt(y, rho, span, degree, at)
+			continue
+		}
+		// Fast path: degree-1 fit with table-driven tricube weights. The
+		// accumulation mirrors the generic power loop term by term:
+		// s0 += w*1, t0 += (w*y)*1, s1 += w*x, t1 += (w*y)*x, s2 += w*(x*x).
+		var s0, s1, s2, t0, t1 float64
+		for j := lo; j < lo+q; j++ {
+			d := j - i
+			if d < 0 {
+				d = -d
+			}
+			w := tab[d]
+			if w == 0 {
+				continue
+			}
+			if rho != nil {
+				w *= rho[j]
+				if w <= 0 {
+					continue
+				}
+			}
+			x := float64(j - i)
+			wy := w * y[j]
+			s0 += w
+			t0 += wy
+			s1 += w * x
+			t1 += wy * x
+			s2 += w * (x * x)
+		}
+		s := [5]float64{s0, s1, s2}
+		t := [3]float64{t0, t1}
+		dst[i] = solveLocalFit(y, lo, q, 1, &s, &t)
+	}
 }
 
 // movingAverage returns the simple moving average of y with window m; the
@@ -139,6 +229,23 @@ func movingAverage(y []float64, m int) []float64 {
 		return nil
 	}
 	out := make([]float64, n-m+1)
+	movingAverageFill(out, y, m)
+	return out
+}
+
+// movingAverageInto is movingAverage writing into *buf, reusing capacity.
+func movingAverageInto(buf *[]float64, y []float64, m int) []float64 {
+	n := len(y)
+	if m <= 0 || m > n {
+		return nil
+	}
+	out := resize(buf, n-m+1)
+	movingAverageFill(out, y, m)
+	return out
+}
+
+func movingAverageFill(out, y []float64, m int) {
+	n := len(y)
 	sum := 0.0
 	for i := 0; i < m; i++ {
 		sum += y[i]
@@ -148,7 +255,6 @@ func movingAverage(y []float64, m int) []float64 {
 		sum += y[i] - y[i-m]
 		out[i-m+1] = sum / float64(m)
 	}
-	return out
 }
 
 // nextOdd returns the smallest odd integer >= v (and >= 3).

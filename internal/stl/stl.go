@@ -64,21 +64,62 @@ type Result struct {
 	Weights []float64
 }
 
+// Workspace holds every scratch buffer an STL decomposition needs, so a
+// worker that decomposes many series of the same length reuses its
+// detrended/deseasonalized/extension/weight buffers across inner and outer
+// iterations — and across calls — instead of reallocating them. The zero
+// value is ready to use; buffers grow on demand and stick around. A
+// Workspace is not safe for concurrent use: give each goroutine its own
+// (the pipeline does, via core.Scratch).
+type Workspace struct {
+	trend, seasonal, rho []float64
+	detrended, deseason  []float64
+	c                    []float64 // extended cycle-subseries, n + 2*period
+	ma1, ma2, ma3        []float64 // low-pass moving-average chain
+	lp                   []float64 // low-pass LOESS output
+	tr                   []float64 // trend LOESS output
+	sub, subRho          []float64 // one phase's cycle subseries
+	absResid, sortBuf    []float64 // robustness-weight intermediates
+	tricube              []float64 // interior tricube weight table (loess)
+}
+
 // Decompose runs STL on y. It returns an error when the series is shorter
-// than two full periods or the options are invalid.
+// than two full periods or the options are invalid. The one-shot form
+// allocates a throwaway Workspace; hot paths should hold a Workspace and
+// call its Decompose or DecomposeInto methods.
 func Decompose(y []float64, opts Opts) (*Result, error) {
+	var ws Workspace
+	return ws.Decompose(y, opts)
+}
+
+// Decompose is the workspace form of the package-level Decompose: scratch
+// buffers come from ws, and the returned Result holds freshly allocated
+// slices the caller may retain.
+func (ws *Workspace) Decompose(y []float64, opts Opts) (*Result, error) {
+	res := &Result{}
+	if err := ws.DecomposeInto(res, y, opts); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// DecomposeInto decomposes y into res, reusing both ws's scratch buffers
+// and res's existing slice capacity; a caller that recycles the same
+// Result allocates nothing in steady state. The result is bit-identical to
+// the package-level Decompose.
+func (ws *Workspace) DecomposeInto(res *Result, y []float64, opts Opts) error {
 	n := len(y)
 	if opts.Period < 2 {
-		return nil, fmt.Errorf("stl: period %d < 2", opts.Period)
+		return fmt.Errorf("stl: period %d < 2", opts.Period)
 	}
 	if n < 2*opts.Period {
-		return nil, fmt.Errorf("stl: series of %d samples shorter than two periods (%d)", n, 2*opts.Period)
+		return fmt.Errorf("stl: series of %d samples shorter than two periods (%d)", n, 2*opts.Period)
 	}
 	if opts.Seasonal == 0 {
 		opts.Seasonal = 7
 	}
 	if opts.Seasonal < 3 || opts.Seasonal%2 == 0 {
-		return nil, fmt.Errorf("stl: seasonal span %d must be odd and >= 3", opts.Seasonal)
+		return fmt.Errorf("stl: seasonal span %d must be odd and >= 3", opts.Seasonal)
 	}
 	if opts.Trend == 0 {
 		opts.Trend = nextOdd(1.5 * float64(opts.Period) / (1 - 1.5/float64(opts.Seasonal)))
@@ -90,23 +131,23 @@ func Decompose(y []float64, opts Opts) (*Result, error) {
 		opts.Inner = 2
 	}
 	if opts.Outer < 0 {
-		return nil, fmt.Errorf("stl: negative outer iterations")
+		return fmt.Errorf("stl: negative outer iterations")
 	}
 	if opts.SeasonalDeg < 0 || opts.SeasonalDeg > 2 ||
 		opts.TrendDeg < 0 || opts.TrendDeg > 2 ||
 		opts.LowpassDeg < 0 || opts.LowpassDeg > 2 {
-		return nil, fmt.Errorf("stl: loess degrees must be 0, 1 or 2")
+		return fmt.Errorf("stl: loess degrees must be 0, 1 or 2")
 	}
 
 	np := opts.Period
-	trend := make([]float64, n)
-	seasonal := make([]float64, n)
-	rho := make([]float64, n)
+	trend := resizeZero(&ws.trend, n)
+	seasonal := resizeZero(&ws.seasonal, n)
+	rho := resize(&ws.rho, n)
 	for i := range rho {
 		rho[i] = 1
 	}
-	detrended := make([]float64, n)
-	deseason := make([]float64, n)
+	detrended := resize(&ws.detrended, n)
+	deseason := resize(&ws.deseason, n)
 
 	for outer := 0; ; outer++ {
 		for inner := 0; inner < opts.Inner; inner++ {
@@ -118,12 +159,12 @@ func Decompose(y []float64, opts Opts) (*Result, error) {
 			// each side (length n + 2*np).
 			var c []float64
 			if opts.Periodic {
-				c = cycleSubseriesPeriodic(detrended, rho, np)
+				c = ws.cycleSubseriesPeriodic(detrended, rho, np)
 			} else {
-				c = cycleSubseriesSmooth(detrended, rho, np, opts.Seasonal, opts.SeasonalDeg)
+				c = ws.cycleSubseriesSmooth(detrended, rho, np, opts.Seasonal, opts.SeasonalDeg)
 			}
 			// Step 3: low-pass filtering of the smoothed cycle-subseries.
-			l := lowPass(c, np, opts.Lowpass, opts.LowpassDeg)
+			l := ws.lowPass(c, np, opts.Lowpass, opts.LowpassDeg)
 			// Step 4: seasonal = middle of C minus low-pass.
 			for i := 0; i < n; i++ {
 				seasonal[i] = c[i+np] - l[i]
@@ -133,36 +174,35 @@ func Decompose(y []float64, opts Opts) (*Result, error) {
 				deseason[i] = y[i] - seasonal[i]
 			}
 			// Step 6: trend smoothing.
-			tr := Loess(deseason, opts.Trend, opts.TrendDeg, rho)
+			tr := resize(&ws.tr, n)
+			ws.loessInto(tr, deseason, opts.Trend, opts.TrendDeg, rho)
 			copy(trend, tr)
 		}
 		if outer >= opts.Outer {
 			break
 		}
 		// Robustness weights from the residuals (bisquare).
-		updateRobustnessWeights(y, trend, seasonal, rho)
+		ws.updateRobustnessWeights(y, trend, seasonal, rho)
 	}
 
-	res := &Result{
-		Trend:    trend,
-		Seasonal: seasonal,
-		Resid:    make([]float64, n),
-		Weights:  rho,
-	}
+	res.Trend = setSlice(res.Trend, trend)
+	res.Seasonal = setSlice(res.Seasonal, seasonal)
+	res.Weights = setSlice(res.Weights, rho)
+	res.Resid = resize(&res.Resid, n)
 	for i := range y {
 		res.Resid[i] = y[i] - trend[i] - seasonal[i]
 	}
-	return res, nil
+	return nil
 }
 
 // cycleSubseriesSmooth smooths each phase's subseries with LOESS and
 // extends it by one period on each side, returning a series of length
-// len(y) + 2*period.
-func cycleSubseriesSmooth(y, rho []float64, period, span, degree int) []float64 {
+// len(y) + 2*period (backed by ws.c).
+func (ws *Workspace) cycleSubseriesSmooth(y, rho []float64, period, span, degree int) []float64 {
 	n := len(y)
-	out := make([]float64, n+2*period)
-	sub := make([]float64, 0, n/period+1)
-	subRho := make([]float64, 0, n/period+1)
+	out := resizeZero(&ws.c, n+2*period)
+	sub := ws.sub[:0]
+	subRho := ws.subRho[:0]
 	for phase := 0; phase < period; phase++ {
 		sub = sub[:0]
 		subRho = subRho[:0]
@@ -181,15 +221,16 @@ func cycleSubseriesSmooth(y, rho []float64, period, span, degree int) []float64 
 			}
 		}
 	}
+	ws.sub, ws.subRho = sub, subRho
 	return out
 }
 
 // cycleSubseriesPeriodic replaces each phase's subseries with its
 // robustness-weighted mean, extended one period on each side — the
-// "periodic" seasonal option.
-func cycleSubseriesPeriodic(y, rho []float64, period int) []float64 {
+// "periodic" seasonal option. The result is backed by ws.c.
+func (ws *Workspace) cycleSubseriesPeriodic(y, rho []float64, period int) []float64 {
 	n := len(y)
-	out := make([]float64, n+2*period)
+	out := resizeZero(&ws.c, n+2*period)
 	for phase := 0; phase < period; phase++ {
 		var sum, wsum float64
 		for i := phase; i < n; i += period {
@@ -204,7 +245,7 @@ func cycleSubseriesPeriodic(y, rho []float64, period int) []float64 {
 			// All weights zeroed (an outlier dragged the whole phase's
 			// residuals): fall back to the subseries median, which the
 			// outlier cannot drag.
-			var vals []float64
+			vals := ws.sub[:0]
 			for i := phase; i < n; i += period {
 				vals = append(vals, y[i])
 			}
@@ -212,6 +253,7 @@ func cycleSubseriesPeriodic(y, rho []float64, period int) []float64 {
 				sort.Float64s(vals)
 				mean = vals[len(vals)/2]
 			}
+			ws.sub = vals
 		}
 		for pos := phase; pos < len(out); pos += period {
 			out[pos] = mean
@@ -223,23 +265,25 @@ func cycleSubseriesPeriodic(y, rho []float64, period int) []float64 {
 // lowPass applies STL's low-pass filter to the extended cycle-subseries c
 // (length n+2*period): two moving averages of length period, one of length
 // 3, then a LOESS smoothing with the given span. The result has length
-// len(c) - 2*period.
-func lowPass(c []float64, period, span, degree int) []float64 {
-	ma1 := movingAverage(c, period)   // len: n+period+1
-	ma2 := movingAverage(ma1, period) // len: n+2
-	ma3 := movingAverage(ma2, 3)      // len: n
-	return Loess(ma3, span, degree, nil)
+// len(c) - 2*period and is backed by ws.lp.
+func (ws *Workspace) lowPass(c []float64, period, span, degree int) []float64 {
+	ma1 := movingAverageInto(&ws.ma1, c, period)   // len: n+period+1
+	ma2 := movingAverageInto(&ws.ma2, ma1, period) // len: n+2
+	ma3 := movingAverageInto(&ws.ma3, ma2, 3)      // len: n
+	lp := resize(&ws.lp, len(ma3))
+	ws.loessInto(lp, ma3, span, degree, nil)
+	return lp
 }
 
 // updateRobustnessWeights recomputes rho in place using the bisquare
 // function of |residual| scaled by six times the median absolute residual.
-func updateRobustnessWeights(y, trend, seasonal, rho []float64) {
+func (ws *Workspace) updateRobustnessWeights(y, trend, seasonal, rho []float64) {
 	n := len(y)
-	absResid := make([]float64, n)
+	absResid := resize(&ws.absResid, n)
 	for i := range y {
 		absResid[i] = math.Abs(y[i] - trend[i] - seasonal[i])
 	}
-	sorted := make([]float64, n)
+	sorted := resize(&ws.sortBuf, n)
 	copy(sorted, absResid)
 	sort.Float64s(sorted)
 	var med float64
@@ -264,6 +308,38 @@ func updateRobustnessWeights(y, trend, seasonal, rho []float64) {
 		w := 1 - u*u
 		rho[i] = w * w
 	}
+}
+
+// resize returns *buf with length n, reusing capacity; contents are
+// unspecified.
+func resize(buf *[]float64, n int) []float64 {
+	if cap(*buf) >= n {
+		*buf = (*buf)[:n]
+	} else {
+		*buf = make([]float64, n)
+	}
+	return *buf
+}
+
+// resizeZero returns *buf with length n and every element zeroed, matching
+// the freshly allocated slices the pre-workspace code used.
+func resizeZero(buf *[]float64, n int) []float64 {
+	b := resize(buf, n)
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// setSlice copies src into dst, reusing dst's capacity.
+func setSlice(dst, src []float64) []float64 {
+	if cap(dst) >= len(src) {
+		dst = dst[:len(src)]
+	} else {
+		dst = make([]float64, len(src))
+	}
+	copy(dst, src)
+	return dst
 }
 
 // NaiveDecompose implements the classical moving-average seasonal

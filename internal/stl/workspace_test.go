@@ -1,0 +1,139 @@
+package stl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func noisySeasonal(n, period int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = 30 + 0.01*float64(i) + 8*math.Sin(2*math.Pi*float64(i)/float64(period)) + rng.NormFloat64()
+	}
+	return y
+}
+
+// TestLoessIntoMatchesFitAt pins the interior fast path to the one-shot
+// fit: the table-driven degree-1 accumulation must reproduce loessFitAt
+// bit for bit at every position, with and without robustness weights.
+func TestLoessIntoMatchesFitAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{5, 24, 101, 672} {
+		y := noisySeasonal(n, 24, int64(n))
+		rho := make([]float64, n)
+		for i := range rho {
+			rho[i] = rng.Float64()
+		}
+		for _, span := range []int{5, 25, n + 25} {
+			for _, degree := range []int{0, 1, 2} {
+				for _, r := range [][]float64{nil, rho} {
+					got := Loess(y, span, degree, r)
+					for i := range got {
+						want := loessFitAt(y, r, span, degree, float64(i))
+						if got[i] != want {
+							t.Fatalf("n=%d span=%d deg=%d rho=%v i=%d: Loess %v != fitAt %v",
+								n, span, degree, r != nil, i, got[i], want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecomposeIntoMatchesDecompose checks that a reused workspace and
+// recycled Result reproduce the one-shot decomposition bit for bit, across
+// interleaved series lengths.
+func TestDecomposeIntoMatchesDecompose(t *testing.T) {
+	var ws Workspace
+	var res Result
+	for _, tc := range []struct{ n, period int }{
+		{24 * 14, 24}, {168 * 4, 168}, {24 * 14, 24}, {168 * 8, 168},
+	} {
+		y := noisySeasonal(tc.n, tc.period, int64(tc.n+tc.period))
+		opts := DefaultOpts(tc.period)
+		opts.Outer = 2
+		want, err := Decompose(y, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ws.DecomposeInto(&res, y, opts); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Trend {
+			if res.Trend[i] != want.Trend[i] || res.Seasonal[i] != want.Seasonal[i] || res.Resid[i] != want.Resid[i] {
+				t.Fatalf("n=%d period=%d i=%d: workspace decomposition differs from one-shot", tc.n, tc.period, i)
+			}
+		}
+	}
+}
+
+// TestDecomposeIntoPeriodicMatches covers the periodic-seasonal variant
+// the pipeline actually runs (core.analyzeTrend sets Periodic).
+func TestDecomposeIntoPeriodicMatches(t *testing.T) {
+	y := noisySeasonal(168*8, 168, 5)
+	opts := DefaultOpts(168)
+	opts.Periodic = true
+	opts.Trend = 168 + 25
+	want, err := Decompose(y, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ws Workspace
+	var res Result
+	for round := 0; round < 2; round++ { // second round runs fully warm
+		if err := ws.DecomposeInto(&res, y, opts); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Trend {
+			if res.Trend[i] != want.Trend[i] || res.Seasonal[i] != want.Seasonal[i] {
+				t.Fatalf("round %d i=%d: periodic decomposition differs", round, i)
+			}
+		}
+	}
+}
+
+// TestDecomposeSteadyStateAllocs checks that a warm workspace with a
+// recycled Result decomposes without allocating.
+func TestDecomposeSteadyStateAllocs(t *testing.T) {
+	y := noisySeasonal(168*8, 168, 6)
+	opts := DefaultOpts(168)
+	opts.Periodic = true
+	var ws Workspace
+	var res Result
+	if err := ws.DecomposeInto(&res, y, opts); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		if err := ws.DecomposeInto(&res, y, opts); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0 {
+		t.Errorf("warm DecomposeInto allocates %.0f times per call", n)
+	}
+}
+
+// BenchmarkSTLDecompose measures the pipeline's STL configuration (8 weeks
+// hourly, weekly periodic seasonal, one robustness pass) with a warm
+// workspace.
+func BenchmarkSTLDecompose(b *testing.B) {
+	y := noisySeasonal(168*8, 168, 7)
+	opts := DefaultOpts(168)
+	opts.Periodic = true
+	opts.Trend = 168 + 25
+	opts.Outer = 1
+	var ws Workspace
+	var res Result
+	if err := ws.DecomposeInto(&res, y, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ws.DecomposeInto(&res, y, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
