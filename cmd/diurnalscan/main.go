@@ -8,6 +8,7 @@
 //	            [-start YYYY-MM-DD] [-end YYYY-MM-DD] [-calendar 2020|2023|none]
 //	            [-cells N] [-days N] [-region CODE]
 //	            [-resume FILE] [-timeout DUR] [-verify DIR]
+//	            [-breaker] [-hedge] [-quorum N]
 //
 // Example: the first Covid quarter at moderate scale.
 //
@@ -19,6 +20,16 @@
 // identical to an uninterrupted run. -verify DIR runs an fsck-style
 // integrity check over an archived dataset store and exits non-zero if
 // any observation log is corrupt.
+//
+// Self-healing: -breaker supervises the observers with runtime circuit
+// breakers (seeded by the §2.7 pre-scan), -hedge re-dispatches straggler
+// blocks past an adaptive latency deadline, and -quorum N flags blocks
+// analyzed with records from fewer than N observers.
+//
+// Exit codes: 0 clean, 1 runtime error, 2 usage error, 3 when the run
+// completed but in degraded mode — an observer breaker was still open at
+// the end, or blocks fell below the -quorum floor. Code 3 output is
+// complete but should be treated as lower-confidence.
 package main
 
 import (
@@ -61,6 +72,9 @@ func main() {
 	resumePath := flag.String("resume", "", "journal finished blocks to this file and resume from it after a crash")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (e.g. 10m); finished blocks stay journaled with -resume")
 	verifyDir := flag.String("verify", "", "fsck an archived dataset store at this directory and exit")
+	breaker := flag.Bool("breaker", false, "supervise observers with runtime circuit breakers (implies the pre-scan health check)")
+	hedge := flag.Bool("hedge", false, "re-dispatch straggler blocks past an adaptive latency deadline")
+	quorum := flag.Int("quorum", 0, "flag blocks analyzed with fewer than this many observers (0 disables)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the world run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the world run to this file")
 	flag.Parse()
@@ -126,7 +140,12 @@ func main() {
 		os.Exit(1)
 	}
 	began := time.Now()
-	report, err := world.RunContext(ctx, cfg, diurnal.RunOptions{CheckpointPath: *resumePath})
+	report, err := world.RunContext(ctx, cfg, diurnal.RunOptions{
+		CheckpointPath: *resumePath,
+		Breaker:        *breaker,
+		Hedge:          *hedge,
+		Quorum:         *quorum,
+	})
 	if perr := stopProfiles(); perr != nil {
 		fmt.Fprintln(os.Stderr, perr)
 	}
@@ -163,9 +182,13 @@ func main() {
 		world.Size(), *startStr, *endStr, *observers, time.Since(began).Seconds())
 	fmt.Printf("responsive: %d   change-sensitive: %d   gridcells: %d\n\n",
 		responsive, report.ChangeSensitiveCount(), len(report.Cells))
+	if *breaker || *hedge || *quorum > 0 {
+		printSupervisor(world, report, *quorum)
+	}
 
 	if *region != "" {
 		reportRegion(world, report, *region)
+		exitIfDegraded(report)
 		return
 	}
 
@@ -207,6 +230,61 @@ func main() {
 				time.Unix(p.day*diurnal.SecondsPerDay, 0).UTC().Format("2006-01-02"), 100*p.frac)
 		}
 	}
+	exitIfDegraded(report)
+}
+
+// exitDegraded is the exit code of a run that finished but with the
+// supervisor reporting degraded coverage: an observer breaker still open
+// at the end, or blocks analyzed below the -quorum floor.
+const exitDegraded = 3
+
+func exitIfDegraded(report *diurnal.Report) {
+	if !report.Report.Degraded() {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "run completed DEGRADED: %d breakers open, %d blocks below quorum\n",
+		len(report.Report.BreakerOpen), len(report.Report.QuorumShortfalls))
+	os.Exit(exitDegraded)
+}
+
+// printSupervisor renders the run's supervision summary: per-observer
+// health, breaker history, hedging activity, and quorum coverage.
+func printSupervisor(world *diurnal.World, report *diurnal.Report, quorum int) {
+	rep := report.Report
+	names := world.Engine().Names()
+	name := func(i int) string {
+		if i >= 0 && i < len(names) {
+			return names[i]
+		}
+		return fmt.Sprintf("#%d", i)
+	}
+	open := map[int]bool{}
+	for _, i := range rep.BreakerOpen {
+		open[i] = true
+	}
+	if len(rep.HealthScores) > 0 {
+		fmt.Printf("supervisor: observer health")
+		for i, s := range rep.HealthScores {
+			state := ""
+			if open[i] {
+				state = " (breaker open)"
+			}
+			fmt.Printf("  %s=%.2f%s", name(i), s, state)
+		}
+		fmt.Println()
+	}
+	for _, tx := range rep.BreakerTransitions {
+		fmt.Printf("  breaker: observer %s %s->%s at block %d (score %.2f: %s)\n",
+			name(tx.Observer), tx.From, tx.To, tx.Seq, tx.Score, tx.Reason)
+	}
+	if rep.HedgedBlocks > 0 {
+		fmt.Printf("  hedged %d straggler blocks (%d hedge wins)\n", rep.HedgedBlocks, rep.HedgeWins)
+	}
+	if quorum > 0 {
+		fmt.Printf("  quorum: %d blocks analyzed with fewer than %d observers\n",
+			len(rep.QuorumShortfalls), quorum)
+	}
+	fmt.Println()
 }
 
 // verifyStore fscks an archived dataset store and returns the process

@@ -68,6 +68,7 @@ func catalog() []experiment {
 		{"ablation-outagefilter", "pair filter vs belief-based outage masking (§2.6)", wrap(experiments.AblationOutageFilter)},
 		{"robustness", "detection accuracy under injected measurement faults", wrap(experiments.Robustness)},
 		{"crashresume", "kill-and-resume produces identical results (checkpoint journal)", wrap(experiments.CrashResume)},
+		{"supervisor", "runtime breakers, hedged stragglers, quorum guard (self-healing)", wrap(experiments.Supervisor)},
 	}
 }
 

@@ -42,6 +42,7 @@ import (
 	"github.com/diurnalnet/diurnal/internal/dataset"
 	"github.com/diurnalnet/diurnal/internal/events"
 	"github.com/diurnalnet/diurnal/internal/geo"
+	"github.com/diurnalnet/diurnal/internal/health"
 	"github.com/diurnalnet/diurnal/internal/netsim"
 	"github.com/diurnalnet/diurnal/internal/probe"
 	"github.com/diurnalnet/diurnal/internal/reconstruct"
@@ -209,6 +210,19 @@ type RunOptions struct {
 	// MaxRetries caps extra attempts after a transient collection
 	// failure: zero means the default of 2, negative disables retries.
 	MaxRetries int
+	// Breaker enables the runtime observer supervisor: a pre-scan health
+	// check (§2.7) seeds per-observer circuit breakers, observers whose
+	// reply rate collapses mid-run are excluded until they recover, and
+	// every state change is recorded in Report.Report.BreakerTransitions.
+	Breaker bool
+	// Hedge enables straggler detection: blocks exceeding an adaptive
+	// latency deadline are re-dispatched and the first completion wins,
+	// bounding tail latency without changing any result.
+	Hedge bool
+	// Quorum, when positive, flags blocks analyzed with records from
+	// fewer than this many observers (Report.Report.QuorumShortfalls);
+	// such a run reports Degraded.
+	Quorum int
 }
 
 // Run probes and analyzes the whole world under cfg.
@@ -226,6 +240,16 @@ func (w *World) RunContext(ctx context.Context, cfg Config, opts RunOptions) (*R
 		Engine:       w.engine,
 		BlockTimeout: opts.BlockTimeout,
 		MaxRetries:   opts.MaxRetries,
+		Quorum:       opts.Quorum,
+	}
+	if opts.Breaker {
+		b := health.DefaultBreaker()
+		p.Breaker = &b
+		p.ExcludeSuspects = true
+	}
+	if opts.Hedge {
+		h := health.DefaultHedge()
+		p.Hedge = &h
 	}
 	if opts.CheckpointPath != "" {
 		cp, err := core.OpenCheckpoint(opts.CheckpointPath)

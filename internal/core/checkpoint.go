@@ -45,11 +45,17 @@ type checkpointHeader struct {
 // analysis follows it in the BlockAnalysis wire format (see codec.go),
 // written directly so the bulk series bytes pass through exactly one
 // buffer on their way to the journal.
+//
+// Observers was added with the quorum guard; gob omits it when zero and
+// ignores it when absent, so journals written before the field and runs
+// with the guard off round-trip identically (Observers stays 0 =
+// "not tracked").
 type blockMeta struct {
 	Index       int
 	ID          netsim.BlockID
 	Place       geo.Placement
 	HasAnalysis bool
+	Observers   int
 }
 
 type checkpointKey struct {
@@ -197,6 +203,7 @@ func encodeBlockFrame(index int, o BlockOutcome) ([]byte, error) {
 	var meta bytes.Buffer
 	err := gob.NewEncoder(&meta).Encode(&blockMeta{
 		Index: index, ID: o.ID, Place: o.Place, HasAnalysis: o.Analysis != nil,
+		Observers: o.Observers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: encoding checkpoint frame: %w", err)
@@ -237,7 +244,7 @@ func decodeBlockFrame(data []byte) (int, *BlockOutcome, error) {
 	if err := gob.NewDecoder(bytes.NewReader(data[4 : 4+metaLen])).Decode(&m); err != nil {
 		return 0, nil, fmt.Errorf("core: decoding checkpoint frame: %w", err)
 	}
-	o := &BlockOutcome{ID: m.ID, Place: m.Place}
+	o := &BlockOutcome{ID: m.ID, Place: m.Place, Observers: m.Observers}
 	rest := data[4+metaLen:]
 	if m.HasAnalysis {
 		a := &BlockAnalysis{}

@@ -12,6 +12,7 @@ import (
 	"github.com/diurnalnet/diurnal/internal/changepoint"
 	"github.com/diurnalnet/diurnal/internal/dataset"
 	"github.com/diurnalnet/diurnal/internal/geo"
+	"github.com/diurnalnet/diurnal/internal/health"
 	"github.com/diurnalnet/diurnal/internal/netsim"
 	"github.com/diurnalnet/diurnal/internal/probe"
 	"github.com/diurnalnet/diurnal/internal/reconstruct"
@@ -33,6 +34,11 @@ type BlockOutcome struct {
 	ID       netsim.BlockID
 	Place    geo.Placement
 	Analysis *BlockAnalysis
+	// Observers is how many observers contributed at least one record to
+	// the analysis, recorded only when the pipeline's quorum guard is
+	// enabled (Pipeline.Quorum > 0); zero means "not tracked", which is
+	// also what blocks resumed from pre-quorum journals report.
+	Observers int
 }
 
 // BlockError records one block's analysis failure during a world run.
@@ -74,6 +80,35 @@ type RunReport struct {
 	// RetriedBlocks counts blocks that needed at least one retry after a
 	// transient collection failure.
 	RetriedBlocks int
+	// BreakerTransitions is the runtime circuit breakers' full state-change
+	// log in decision order (nil when Pipeline.Breaker is unset).
+	BreakerTransitions []health.Transition
+	// BreakerOpen lists observers whose breaker was still open when the
+	// run finished — the mid-run analogue of ExcludedObservers.
+	BreakerOpen []int
+	// HealthScores are the final per-observer EWMA reply-rate scores (nil
+	// when Pipeline.Breaker is unset).
+	HealthScores []float64
+	// HedgedBlocks counts blocks that exceeded the straggler deadline and
+	// were re-dispatched; HedgeWins counts hedge attempts that finished
+	// before their primary.
+	HedgedBlocks, HedgeWins int
+	// QuorumShortfalls lists indices of blocks analyzed with fewer than
+	// Pipeline.Quorum contributing observers, ascending (nil when the
+	// quorum guard is disabled or nothing fell short).
+	QuorumShortfalls []int
+	// QuarantinedBlocks counts shortfall blocks excluded from world
+	// aggregates because QuarantineBelowQuorum was set. Their analyses
+	// remain in WorldResult.Blocks for inspection.
+	QuarantinedBlocks int
+}
+
+// Degraded reports whether the run finished in degraded mode: observers
+// still tripped out by their breakers, or blocks analyzed below the
+// observer quorum. Scripted runs use this (via diurnalscan's exit code)
+// to detect partial-confidence output.
+func (r *RunReport) Degraded() bool {
+	return len(r.BreakerOpen) > 0 || len(r.QuorumShortfalls) > 0
 }
 
 // WorldResult aggregates a whole-world pipeline run.
@@ -129,6 +164,36 @@ type Pipeline struct {
 	// and, on resume, restores journaled blocks instead of re-analyzing
 	// them. See OpenCheckpoint.
 	Checkpoint *Checkpointer
+	// Breaker, when non-nil, enables per-observer runtime circuit
+	// breakers: each observer's per-block reply rate feeds an EWMA health
+	// score, observers whose score collapses relative to their peers are
+	// tripped out of subsequent blocks, and readmitted after cooldown and
+	// probation. When ExcludeSuspects is also set, the pre-scan's rates
+	// seed the scores and its exclusions start with open breakers, so the
+	// static and runtime checks agree from the first block.
+	Breaker *health.BreakerConfig
+	// Hedge, when non-nil, enables straggler detection: a watchdog tracks
+	// completed-block latency quantiles and re-dispatches blocks exceeding
+	// the adaptive deadline to a fresh attempt, delivering whichever
+	// finishes first (results are identical either way — analysis is
+	// deterministic) and journaling exactly once.
+	Hedge *health.HedgeConfig
+	// Quorum, when positive, flags blocks analyzed with fewer than this
+	// many contributing observers in Report.QuorumShortfalls.
+	Quorum int
+	// QuarantineBelowQuorum additionally excludes shortfall blocks from
+	// world-level aggregates (their analyses stay in Blocks).
+	QuarantineBelowQuorum bool
+	// MaxInflight bounds admitted-but-unfinished blocks (default: the
+	// worker count — backpressure from the slowest worker, no queue
+	// buildup).
+	MaxInflight int
+	// MemoryBudget, when positive, caps the estimated bytes of in-flight
+	// block collections; admission narrows until the estimate fits, so
+	// huge worlds cannot OOM the scheduler. See estimateBlockBytes.
+	MemoryBudget int64
+	// Clock injects time for the hedging watchdog (default wall clock).
+	Clock health.Clock
 }
 
 // Run probes and analyzes every block, in parallel, and aggregates the
@@ -173,18 +238,63 @@ func (p *Pipeline) Run(ctx context.Context, world []*dataset.WorldBlock) (*World
 		ContinentCS: map[geo.Continent]int{},
 		Report:      &RunReport{},
 	}
+	clock := p.Clock
+	if clock == nil {
+		clock = health.System
+	}
+	// Observer supervision. The static pre-scan always runs when enabled;
+	// with a breaker configured its verdict seeds the runtime tracker
+	// (initial scores + pre-opened breakers) instead of freezing a wrapper
+	// around the engine, so the pre-scan and the breaker agree on
+	// exclusion yet the breaker can still readmit a recovered observer.
 	eng := p.Engine
+	var tracker *health.Tracker
+	if p.Breaker != nil {
+		tracker = health.NewTracker(*p.Breaker)
+	}
 	if p.ExcludeSuspects {
 		excluded, rates := p.suspectObservers(ctx, world)
 		res.Report.ExcludedObservers = excluded
 		res.Report.ObserverRates = rates
-		if len(excluded) > 0 {
+		if tracker != nil {
+			tracker.Seed(rates, excluded)
+		} else if len(excluded) > 0 {
 			drop := make(map[int]bool, len(excluded))
 			for _, oi := range excluded {
 				drop[oi] = true
 			}
 			eng = &excludeProber{inner: p.Engine, drop: drop}
 		}
+	}
+	var sup *supervisedProber
+	if tracker != nil || p.Quorum > 0 {
+		sup = newSupervisedProber(eng, tracker)
+		eng = sup
+	}
+	var hed *hedger
+	if p.Hedge != nil {
+		hed = newHedger(p, eng, *p.Hedge, clock)
+		go hed.watch(ctx)
+		defer close(hed.stop)
+	}
+	// Bounded admission: dispatch stalls once MaxInflight blocks (or the
+	// MemoryBudget's worth of estimated collection bytes) are admitted but
+	// unfinished, so a huge world exerts backpressure on the dispatcher
+	// instead of queueing without bound.
+	var admit chan struct{}
+	if p.MaxInflight > 0 || p.MemoryBudget > 0 {
+		inflight := p.MaxInflight
+		if inflight <= 0 {
+			inflight = workers
+		}
+		if p.MemoryBudget > 0 {
+			if slots := int(p.MemoryBudget / estimateBlockBytes(cfg)); slots < 1 {
+				inflight = 1
+			} else if slots < inflight {
+				inflight = slots
+			}
+		}
+		admit = make(chan struct{}, inflight)
 	}
 	var (
 		wg         sync.WaitGroup
@@ -204,51 +314,28 @@ func (p *Pipeline) Run(ctx context.Context, world []*dataset.WorldBlock) (*World
 			sc := NewScratch()
 			for i := range jobs {
 				wb := world[i]
-				if p.Checkpoint != nil {
-					if prior, ok := p.Checkpoint.Lookup(i, wb.ID); ok {
-						res.Blocks[i] = *prior
-						mu.Lock()
-						resumed++
-						mu.Unlock()
-						continue
-					}
-				}
-				analysis, attempts, err := p.analyzeBlock(ctx, eng, wb, sc)
-				if attempts > 1 {
-					mu.Lock()
-					retried++
-					mu.Unlock()
-				}
-				if err != nil {
-					// A block killed by run-level cancellation is neither
-					// finished nor failed: leave it for the resumed run.
-					if ctx.Err() != nil {
-						continue
-					}
-					mu.Lock()
-					res.Report.BlockErrors = append(res.Report.BlockErrors, BlockError{Index: i, ID: wb.ID, Err: err})
-					mu.Unlock()
-					res.Blocks[i] = BlockOutcome{ID: wb.ID, Place: wb.Place}
-					continue
-				}
-				res.Blocks[i] = BlockOutcome{ID: wb.ID, Place: wb.Place, Analysis: analysis}
-				if p.Checkpoint != nil {
-					if err := p.Checkpoint.Append(i, res.Blocks[i]); err != nil {
-						mu.Lock()
-						if journalErr == nil {
-							journalErr = err
-						}
-						mu.Unlock()
-					}
+				p.runBlock(ctx, eng, sup, hed, res, i, wb, sc, &mu, &journalErr, &resumed, &retried)
+				if admit != nil {
+					<-admit
 				}
 			}
 		}()
 	}
 dispatch:
 	for i := range world {
+		if admit != nil {
+			select {
+			case admit <- struct{}{}:
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
 		select {
 		case jobs <- i:
 		case <-ctx.Done():
+			if admit != nil {
+				<-admit // the block was never handed to a worker
+			}
 			break dispatch
 		}
 	}
@@ -256,6 +343,14 @@ dispatch:
 	wg.Wait()
 	res.Report.ResumedBlocks = resumed
 	res.Report.RetriedBlocks = retried
+	if tracker != nil {
+		res.Report.BreakerTransitions = tracker.Transitions()
+		res.Report.BreakerOpen = tracker.Excluded()
+		res.Report.HealthScores = tracker.Scores()
+	}
+	if hed != nil {
+		res.Report.HedgedBlocks, res.Report.HedgeWins = hed.stats()
+	}
 	if err := ctx.Err(); err != nil {
 		return res, fmt.Errorf("core: run interrupted: %w", err)
 	}
@@ -266,15 +361,93 @@ dispatch:
 		return res.Report.BlockErrors[i].Index < res.Report.BlockErrors[j].Index
 	})
 	for i := range res.Blocks {
-		if res.Blocks[i].Analysis != nil {
+		b := &res.Blocks[i]
+		if b.Analysis != nil {
 			res.Report.AnalyzedBlocks++
 		}
-		res.aggregate(&res.Blocks[i])
+		// Quorum guard: a block merged from too few observers carries a
+		// §2.7-style single-vantage bias, so it is flagged — and with
+		// quarantine on, kept out of the world aggregates. Observers == 0
+		// means "not tracked" (quorum off, or resumed from a pre-quorum
+		// journal) and is never flagged.
+		if p.Quorum > 0 && b.Analysis != nil && b.Observers > 0 && b.Observers < p.Quorum {
+			res.Report.QuorumShortfalls = append(res.Report.QuorumShortfalls, i)
+			if p.QuarantineBelowQuorum {
+				res.Report.QuarantinedBlocks++
+				continue
+			}
+		}
+		res.aggregate(b)
 	}
 	if len(world) > 0 && res.Report.AnalyzedBlocks == 0 && len(res.Report.BlockErrors) > 0 {
 		return res, fmt.Errorf("core: all %d blocks failed: %w", len(world), res.Report.BlockErrors[0])
 	}
 	return res, nil
+}
+
+// runBlock takes one block from checkpoint lookup through analysis
+// (hedged when a watchdog is attached) to delivery: result slot, health
+// commit, and the exactly-once journal append.
+func (p *Pipeline) runBlock(ctx context.Context, eng Prober, sup *supervisedProber, hed *hedger,
+	res *WorldResult, i int, wb *dataset.WorldBlock, sc *Scratch,
+	mu *sync.Mutex, journalErr *error, resumed, retried *int) {
+	if p.Checkpoint != nil {
+		if prior, ok := p.Checkpoint.Lookup(i, wb.ID); ok {
+			res.Blocks[i] = *prior
+			mu.Lock()
+			*resumed++
+			mu.Unlock()
+			return
+		}
+	}
+	var (
+		analysis *BlockAnalysis
+		attempts int
+		err      error
+	)
+	if hed != nil {
+		analysis, attempts, err = hed.run(ctx, i, wb, sc)
+	} else {
+		analysis, attempts, err = p.analyzeBlock(ctx, eng, wb, sc)
+	}
+	if attempts > 1 {
+		mu.Lock()
+		*retried++
+		mu.Unlock()
+	}
+	if err != nil {
+		if sup != nil {
+			sup.discard(wb.ID)
+		}
+		// A block killed by run-level cancellation is neither finished
+		// nor failed: leave it for the resumed run.
+		if ctx.Err() != nil {
+			return
+		}
+		mu.Lock()
+		res.Report.BlockErrors = append(res.Report.BlockErrors, BlockError{Index: i, ID: wb.ID, Err: err})
+		mu.Unlock()
+		res.Blocks[i] = BlockOutcome{ID: wb.ID, Place: wb.Place}
+		return
+	}
+	outcome := BlockOutcome{ID: wb.ID, Place: wb.Place, Analysis: analysis}
+	if sup != nil {
+		// Exactly one commit per completed block, whichever attempt's
+		// collection it came from: this is what feeds the breakers.
+		if n := sup.commit(wb.ID); n >= 0 && p.Quorum > 0 {
+			outcome.Observers = n
+		}
+	}
+	res.Blocks[i] = outcome
+	if p.Checkpoint != nil {
+		if err := p.Checkpoint.Append(i, res.Blocks[i]); err != nil {
+			mu.Lock()
+			if *journalErr == nil {
+				*journalErr = err
+			}
+			mu.Unlock()
+		}
+	}
 }
 
 // analyzeBlock runs one block with panic containment, a per-block
@@ -328,6 +501,15 @@ func (p *Pipeline) analyzeOnce(ctx context.Context, eng Prober, wb *dataset.Worl
 // observer indices to discard, with the sampled rates. It never flags
 // every observer: with no healthy reference the check cannot tell who is
 // broken, so it degrades to keeping them all.
+//
+// Sampling strides ceil(len(world)/sample), so the probed blocks spread
+// across the whole world instead of clustering in a fixed prefix (a
+// floor stride used to land all samples in the first half when the world
+// wasn't a multiple of the sample size, biasing rates toward whatever
+// pathology that prefix happened to have). The rates double as the
+// runtime breakers' initial health scores (see Pipeline.Breaker), so the
+// one-shot pre-scan and the continuous breaker judge observers from the
+// same evidence.
 func (p *Pipeline) suspectObservers(ctx context.Context, world []*dataset.WorldBlock) (excluded []int, rates []float64) {
 	sample := p.HealthSample
 	if sample <= 0 {
@@ -340,7 +522,7 @@ func (p *Pipeline) suspectObservers(ctx context.Context, world []*dataset.WorldB
 		return nil, nil
 	}
 	cfg := p.Config.withDefaults()
-	stride := len(world) / sample
+	stride := (len(world) + sample - 1) / sample
 	if stride < 1 {
 		stride = 1
 	}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/diurnalnet/diurnal/internal/faults"
+	"github.com/diurnalnet/diurnal/internal/health"
+	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/probe"
+)
+
+// fingerprintIgnoringObservers fingerprints a result with every
+// BlockOutcome.Observers zeroed, so supervised runs (which track
+// contributing observers) compare against plain runs byte for byte.
+func fingerprintIgnoringObservers(t *testing.T, res *WorldResult) string {
+	t.Helper()
+	blocks := append([]BlockOutcome(nil), res.Blocks...)
+	for i := range blocks {
+		blocks[i].Observers = 0
+	}
+	fp, err := (&WorldResult{Blocks: blocks, Report: res.Report}).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+// TestSupervisedFaultFreeRunMatchesPlain is the determinism acceptance
+// gate: with no faults injected, enabling the full supervisor (breakers,
+// hedging, quorum, bounded admission) must reproduce the plain
+// pipeline's output byte for byte.
+func TestSupervisedFaultFreeRunMatchesPlain(t *testing.T) {
+	world := smallWorld(t, 200, 47)
+	eng := engine4()
+
+	plain := &Pipeline{Config: q1Config(), Engine: eng}
+	want, err := plain.Run(context.Background(), world)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	breaker := health.DefaultBreaker()
+	hedge := health.DefaultHedge()
+	sup := &Pipeline{
+		Config:          q1Config(),
+		Engine:          eng,
+		ExcludeSuspects: true,
+		Breaker:         &breaker,
+		Hedge:           &hedge,
+		Quorum:          2,
+		MaxInflight:     4,
+		MemoryBudget:    64 << 20,
+	}
+	got, err := sup.Run(context.Background(), world)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if a, b := fingerprintIgnoringObservers(t, want), fingerprintIgnoringObservers(t, got); a != b {
+		t.Fatalf("supervised fault-free run diverged from plain run: %s != %s", a, b)
+	}
+	if n := len(got.Report.BreakerTransitions); n != 0 {
+		t.Fatalf("fault-free run must not trip breakers, got %d transitions: %v",
+			n, got.Report.BreakerTransitions)
+	}
+	if got.Report.Degraded() {
+		t.Fatalf("fault-free run reported degraded: open=%v shortfalls=%v",
+			got.Report.BreakerOpen, got.Report.QuorumShortfalls)
+	}
+	if len(got.Report.HealthScores) == 0 {
+		t.Fatal("supervised run must report final health scores")
+	}
+}
+
+// TestFlapTripsBreakerAndFlagsQuorum injects a mid-run observer flap:
+// the breaker must open (recording the transition), readmit the observer
+// after it recovers, and the blocks analyzed below quorum must be
+// flagged so the run finishes degraded but complete.
+func TestFlapTripsBreakerAndFlagsQuorum(t *testing.T) {
+	// Blocks with no ever-active targets never reach the prober and so
+	// never advance the tracker; the world is sized so the surviving
+	// ~55% of blocks still cover the full trip→cooldown→probation→
+	// readmit cycle.
+	world := smallWorld(t, 160, 48)
+	eng := &faults.Engine{
+		Inner: engine4(),
+		// Observer 3 goes silent from collection call 12 through 35 — long
+		// after any pre-scan would have sampled it, and long enough that
+		// the EWMA collapses well below its peers.
+		Plan: &faults.Plan{Seed: 7, Flaps: []faults.Flap{{Observer: 3, FromCall: 12, ToCall: 36}}},
+	}
+	p := &Pipeline{
+		Config: q1Config(),
+		Engine: eng,
+		// One worker makes the commit order the world order, so the flap
+		// window maps deterministically onto tracker sequence numbers.
+		Workers: 1,
+		Breaker: &health.BreakerConfig{Alpha: 0.5, Tol: 0.2, MinSamples: 4, Cooldown: 8, Probation: 4},
+		Quorum:  4,
+	}
+	res, err := p.Run(context.Background(), world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.AnalyzedBlocks != len(world) {
+		t.Fatalf("flap must not fail blocks: analyzed %d of %d", res.Report.AnalyzedBlocks, len(world))
+	}
+	var opened, readmitted bool
+	for _, tx := range res.Report.BreakerTransitions {
+		if tx.Observer != 3 {
+			t.Fatalf("only observer 3 flapped, but observer %d transitioned: %v", tx.Observer, tx)
+		}
+		if tx.From == health.Closed && tx.To == health.Open {
+			opened = true
+		}
+		if tx.From == health.HalfOpen && tx.To == health.Closed {
+			readmitted = true
+		}
+	}
+	if !opened {
+		t.Fatalf("breaker never opened under flap; transitions: %v scores: %v",
+			res.Report.BreakerTransitions, res.Report.HealthScores)
+	}
+	if !readmitted {
+		t.Fatalf("recovered observer never readmitted; transitions: %v", res.Report.BreakerTransitions)
+	}
+	if len(res.Report.QuorumShortfalls) == 0 {
+		t.Fatal("blocks analyzed during the flap must be flagged below quorum")
+	}
+	if !res.Report.Degraded() {
+		t.Fatal("a run with quorum shortfalls must report Degraded")
+	}
+}
+
+// TestQuarantineBelowQuorum checks that quarantined shortfall blocks keep
+// their analyses but drop out of the world aggregates.
+func TestQuarantineBelowQuorum(t *testing.T) {
+	world := smallWorld(t, 30, 49)
+	eng := &faults.Engine{
+		Inner: engine4(),
+		Plan:  &faults.Plan{Seed: 7, Flaps: []faults.Flap{{Observer: 3, FromCall: 1}}}, // silent all run
+	}
+	run := func(quarantine bool) *WorldResult {
+		p := &Pipeline{
+			Config:                q1Config(),
+			Engine:                eng,
+			Workers:               1,
+			Quorum:                4,
+			QuarantineBelowQuorum: quarantine,
+		}
+		res, err := p.Run(context.Background(), world)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	flagged := run(false)
+	if len(flagged.Report.QuorumShortfalls) == 0 {
+		t.Fatal("a permanently silent observer must produce quorum shortfalls")
+	}
+	if flagged.Report.QuarantinedBlocks != 0 {
+		t.Fatal("without quarantine, shortfall blocks still aggregate")
+	}
+	quarantined := run(true)
+	if got, want := quarantined.Report.QuarantinedBlocks, len(quarantined.Report.QuorumShortfalls); got != want {
+		t.Fatalf("quarantined %d of %d shortfall blocks", got, want)
+	}
+	for _, i := range quarantined.Report.QuorumShortfalls {
+		if quarantined.Blocks[i].Analysis == nil {
+			t.Fatalf("quarantine must keep block %d's analysis for inspection", i)
+		}
+	}
+	if a, b := flagged.ChangeSensitiveCount(), quarantined.ChangeSensitiveCount(); b > a {
+		t.Fatalf("quarantine cannot add change-sensitive blocks: %d > %d", b, a)
+	}
+}
+
+// gaugedProber counts concurrent CollectInto calls.
+type gaugedProber struct {
+	inner   Prober
+	cur     atomic.Int64
+	max     atomic.Int64
+	entered sync.WaitGroup
+}
+
+func (g *gaugedProber) CollectInto(ctx context.Context, b *netsim.Block, start, end int64, bufs [][]probe.Record) ([][]probe.Record, error) {
+	n := g.cur.Add(1)
+	for {
+		m := g.max.Load()
+		if n <= m || g.max.CompareAndSwap(m, n) {
+			break
+		}
+	}
+	defer g.cur.Add(-1)
+	return g.inner.CollectInto(ctx, b, start, end, bufs)
+}
+
+// TestMaxInflightBoundsAdmission verifies the backpressure budget: with
+// MaxInflight below the worker count, no more than MaxInflight blocks
+// are ever collected concurrently.
+func TestMaxInflightBoundsAdmission(t *testing.T) {
+	world := smallWorld(t, 24, 50)
+	g := &gaugedProber{inner: engine4()}
+	p := &Pipeline{
+		Config:      q1Config(),
+		Engine:      g,
+		Workers:     8,
+		MaxInflight: 2,
+	}
+	if _, err := p.Run(context.Background(), world); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.max.Load(); got > 2 {
+		t.Fatalf("observed %d concurrent collections with MaxInflight 2", got)
+	}
+}
+
+// TestMemoryBudgetNarrowsAdmission: a budget below one block's estimate
+// must serialize admission entirely rather than rejecting the run.
+func TestMemoryBudgetNarrowsAdmission(t *testing.T) {
+	world := smallWorld(t, 10, 51)
+	g := &gaugedProber{inner: engine4()}
+	p := &Pipeline{
+		Config:       q1Config(),
+		Engine:       g,
+		Workers:      4,
+		MemoryBudget: 1, // far below any block estimate
+	}
+	if _, err := p.Run(context.Background(), world); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.max.Load(); got > 1 {
+		t.Fatalf("observed %d concurrent collections under a one-byte budget", got)
+	}
+}
+
+// TestHedgeRescuesStalledBlocks injects per-block collector stalls far
+// longer than the test budget and checks that hedged re-dispatch (a) keeps
+// the results identical to an unstalled run, (b) actually hedged, and (c)
+// journals each block exactly once despite double completions.
+func TestHedgeRescuesStalledBlocks(t *testing.T) {
+	world := smallWorld(t, 28, 52)
+	inner := engine4()
+
+	plain := &Pipeline{Config: q1Config(), Engine: inner}
+	want, err := plain.Run(context.Background(), world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFP := fingerprintIgnoringObservers(t, want)
+
+	eng := &faults.Engine{
+		Inner: inner,
+		Plan: &faults.Plan{
+			Seed: 11,
+			// ~1 in 4 blocks stalls for 30s on its first attempt — far past
+			// the test deadline unless hedges rescue them. The first 8
+			// calls run clean so the latency baseline can arm.
+			Stall: &faults.Stall{Prob: 0.25, Delay: 30 * time.Second, Attempts: 1, FromCall: 8},
+		},
+	}
+	cp, err := OpenCheckpoint(filepath.Join(t.TempDir(), "hedged.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	p := &Pipeline{
+		Config:     q1Config(),
+		Engine:     eng,
+		Workers:    4,
+		Checkpoint: cp,
+		Hedge: &health.HedgeConfig{
+			Multiplier:  3,
+			MinSamples:  4,
+			MinDeadline: 10 * time.Millisecond,
+			Poll:        2 * time.Millisecond,
+		},
+	}
+	done := make(chan struct{})
+	var res *WorldResult
+	go func() {
+		defer close(done)
+		res, err = p.Run(context.Background(), world)
+	}()
+	// Generous cap: under the race detector every block is ~10× slower,
+	// and the adaptive deadline scales with it. Without hedging the run
+	// would need minutes (each stalled block burns its full 30s delay).
+	select {
+	case <-done:
+	case <-time.After(90 * time.Second):
+		t.Fatal("hedged run did not finish: stalled blocks were never rescued")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.HedgedBlocks == 0 {
+		t.Fatal("stall injection should have triggered at least one hedge")
+	}
+	if got := fingerprintIgnoringObservers(t, res); got != wantFP {
+		t.Fatalf("hedged run diverged from plain run: %s != %s", got, wantFP)
+	}
+	if got, want := cp.Entries(), res.Report.AnalyzedBlocks; got != want {
+		t.Fatalf("journal holds %d entries for %d analyzed blocks: hedging double-journaled", got, want)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/diurnalnet/diurnal/internal/core"
 	"github.com/diurnalnet/diurnal/internal/dataset"
 	"github.com/diurnalnet/diurnal/internal/events"
+	"github.com/diurnalnet/diurnal/internal/health"
 	"github.com/diurnalnet/diurnal/internal/netsim"
 	"github.com/diurnalnet/diurnal/internal/probe"
 )
@@ -39,6 +40,22 @@ type CrashResumeResult struct {
 	Identical bool
 	// Fingerprint and ResumedFingerprint are the two result digests.
 	Fingerprint, ResumedFingerprint string
+
+	// The hedged phase repeats the crash with straggler hedging tuned so
+	// aggressively that hedges fire even on a healthy world, checking the
+	// two machines compose: a crash cannot make a hedged double
+	// completion journal twice.
+	//
+	// HedgedJournaledAtCrash is how many frames the hedged run appended
+	// before it died; HedgedDuplicates is how many of those were repeat
+	// frames for an already-journaled block (must be zero).
+	HedgedJournaledAtCrash, HedgedDuplicates int
+	// HedgedResumed and HedgedHedges count blocks restored from the
+	// journal and hedges fired during the resumed leg.
+	HedgedResumed, HedgedHedges int
+	// HedgedIdentical reports whether the hedged kill-and-resume ended at
+	// the uninterrupted fingerprint.
+	HedgedIdentical bool
 }
 
 // String renders the check as text.
@@ -55,6 +72,12 @@ func (r *CrashResumeResult) String() string {
 	}
 	fmt.Fprintf(&b, "  uninterrupted %s\n  resumed       %s\n  => %s\n",
 		r.Fingerprint[:16], r.ResumedFingerprint[:16], verdict)
+	hedged := "IDENTICAL"
+	if !r.HedgedIdentical {
+		hedged = "DIVERGED"
+	}
+	fmt.Fprintf(&b, "  hedged crash: %d frames journaled (%d duplicates), resumed %d blocks, %d hedges => %s\n",
+		r.HedgedJournaledAtCrash, r.HedgedDuplicates, r.HedgedResumed, r.HedgedHedges, hedged)
 	return b.String()
 }
 
@@ -175,6 +198,68 @@ func CrashResume(opts Options) (*CrashResumeResult, error) {
 	}
 	if res.ResumedFromJournal == 0 {
 		return res, fmt.Errorf("resumed run restored nothing from a journal holding %d blocks", res.JournaledAtCrash)
+	}
+
+	// Hedged crash: the same kill with straggler hedging tuned so hedges
+	// fire even on a healthy world (deadline at the p50 after two
+	// samples). Hedge double completions and a mid-run kill are the two
+	// paths to duplicate journal frames; this leg drives both at once.
+	hedge := &health.HedgeConfig{
+		Multiplier:  1,
+		Quantile:    0.5,
+		MinSamples:  2,
+		MinDeadline: time.Millisecond,
+		Poll:        time.Millisecond,
+	}
+	hedgedJournal := filepath.Join(dir, "hedged.ckpt")
+	hkCtx, hkill := context.WithCancel(opts.ctx())
+	defer hkill()
+	hcp, err := core.OpenCheckpoint(hedgedJournal)
+	if err != nil {
+		return res, err
+	}
+	_, runErr = (&core.Pipeline{
+		Config:     cfg,
+		Engine:     &killProber{inner: eng, kill: hkill, remaining: res.KillAfter},
+		Checkpoint: hcp,
+		Hedge:      hedge,
+	}).Run(hkCtx, world)
+	if runErr == nil {
+		hcp.Close()
+		return res, fmt.Errorf("hedged interrupted run finished cleanly; kill budget %d never fired", res.KillAfter)
+	}
+	res.HedgedJournaledAtCrash = hcp.Entries()
+	if err := hcp.Close(); err != nil {
+		return res, err
+	}
+	if res.HedgedJournaledAtCrash == 0 || res.HedgedJournaledAtCrash >= len(world) {
+		return res, fmt.Errorf("hedged journal held %d of %d blocks at crash; the kill was not mid-run", res.HedgedJournaledAtCrash, len(world))
+	}
+
+	// Reopening deduplicates by block key, so appended-at-crash minus
+	// distinct-on-reopen is exactly the duplicate frame count.
+	hcp2, err := core.OpenCheckpoint(hedgedJournal)
+	if err != nil {
+		return res, err
+	}
+	defer hcp2.Close()
+	res.HedgedDuplicates = res.HedgedJournaledAtCrash - hcp2.Entries()
+	if res.HedgedDuplicates != 0 {
+		return res, fmt.Errorf("hedged run journaled %d duplicate frames before the crash", res.HedgedDuplicates)
+	}
+	hres, err := (&core.Pipeline{Config: cfg, Engine: eng, Checkpoint: hcp2, Hedge: hedge}).Run(opts.ctx(), world)
+	if err != nil {
+		return res, fmt.Errorf("hedged resumed run: %w", err)
+	}
+	res.HedgedResumed = hres.Report.ResumedBlocks
+	res.HedgedHedges = hres.Report.HedgedBlocks
+	hfp, err := hres.Fingerprint()
+	if err != nil {
+		return res, err
+	}
+	res.HedgedIdentical = hfp == res.Fingerprint
+	if !res.HedgedIdentical {
+		return res, fmt.Errorf("hedged kill-and-resume diverged from uninterrupted run:\n%s", res)
 	}
 	return res, nil
 }

@@ -29,4 +29,13 @@ func TestCrashResume(t *testing.T) {
 	if !strings.Contains(res.String(), "IDENTICAL") {
 		t.Fatalf("report does not state the verdict:\n%s", res)
 	}
+	if !res.HedgedIdentical {
+		t.Fatalf("hedged kill-and-resume diverged:\n%s", res)
+	}
+	if res.HedgedDuplicates != 0 {
+		t.Fatalf("hedged crash left %d duplicate journal frames:\n%s", res.HedgedDuplicates, res)
+	}
+	if res.HedgedJournaledAtCrash <= 0 || res.HedgedJournaledAtCrash >= res.Blocks {
+		t.Fatalf("hedged kill was not mid-run: journal held %d of %d", res.HedgedJournaledAtCrash, res.Blocks)
+	}
 }

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSupervisor runs the supervisor acceptance study at reduced scale;
+// the experiment itself asserts the contracts (fault-free identity,
+// breaker trip and readmission, bounded hedged wall time, exactly-once
+// journaling) and returns an error when any is violated.
+func TestSupervisor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("supervisor study runs four world-scale pipelines")
+	}
+	res, err := Supervisor(Options{Blocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CleanIdentical || !res.WallBounded || !res.ExactlyOnce {
+		t.Fatalf("contract flags not all set:\n%s", res)
+	}
+	if res.HedgedBlocks == 0 {
+		t.Fatalf("no hedges fired:\n%s", res)
+	}
+	out := res.String()
+	if strings.Contains(out, "VIOLATED") {
+		t.Fatalf("rendering reports a violation:\n%s", out)
+	}
+}

@@ -15,17 +15,28 @@
 //   - Corruption: the record pipeline duplicates, reorders, or truncates
 //     whole batches of records (a crashed collector replaying or losing
 //     its buffer).
+//   - Stall: a block's collector hangs for a fixed delay before
+//     delivering (an overloaded or wedged collector) — the straggler the
+//     pipeline's hedged re-dispatch exists to outrun.
+//   - Flap: an observer's stream goes empty over a window of collection
+//     calls — mid-run degradation that a one-shot pre-scan cannot see,
+//     exercising the runtime circuit breakers.
 //
 // Engine wraps a probe.Engine and applies a Plan of these faults; it
 // satisfies core.Prober, so a faulty engine drops into the analysis
-// pipeline unchanged. Everything is deterministic for a fixed Plan seed.
+// pipeline unchanged. Everything is deterministic for a fixed Plan seed
+// (stalls additionally depend on wall time, unless a fake Clock is
+// injected).
 package faults
 
 import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"github.com/diurnalnet/diurnal/internal/health"
 	"github.com/diurnalnet/diurnal/internal/netsim"
 	"github.com/diurnalnet/diurnal/internal/probe"
 )
@@ -39,6 +50,7 @@ const (
 	saltSwap   uint64 = 0xfa05
 	saltTrunc  uint64 = 0xfa06
 	saltSpur   uint64 = 0xfa07
+	saltStall  uint64 = 0xfa08
 )
 
 // Downtime is a half-open window [Start, End) during which an observer is
@@ -220,6 +232,39 @@ func (e *transientError) Error() string {
 // this method.
 func (e *transientError) Transient() bool { return true }
 
+// Stall delays whole collection calls: for a deterministic subset of
+// blocks, the first Attempts calls hang for Delay before delivering
+// normal records — a wedged collector that eventually answers. The delay
+// honors context cancellation, so a hedged re-dispatch that wins the
+// race unwinds the stalled loser immediately.
+type Stall struct {
+	// Prob is the per-block probability the block's collector stalls.
+	Prob float64
+	// Delay is how long a stalled call hangs before collecting.
+	Delay time.Duration
+	// Attempts is how many collection calls stall before the collector
+	// recovers (default 1) — a re-dispatched attempt therefore runs
+	// clean, which is exactly what hedging bets on.
+	Attempts int
+	// FromCall suppresses stalls during the engine's first FromCall
+	// collection calls (counted across all blocks), so a run's latency
+	// baseline forms before the stragglers appear.
+	FromCall int
+}
+
+// Flap silences one observer over a window of the engine's collection
+// calls: from call FromCall (inclusive) to ToCall (exclusive; 0 = never
+// ends), the observer's stream is emptied after collection. Counting
+// calls instead of simulated time models an observer that degrades
+// mid-run, invisible to any pre-scan that sampled it earlier.
+type Flap struct {
+	// Observer is the engine observer index to silence.
+	Observer int
+	// FromCall and ToCall bound the outage in collection-call sequence
+	// numbers (1-based; ToCall 0 means the observer never recovers).
+	FromCall, ToCall int
+}
+
 // Plan assigns faults to an engine's observers by index.
 type Plan struct {
 	// Seed drives all fault randomness, independent of the world seed.
@@ -230,6 +275,11 @@ type Plan struct {
 	// Spurious, when non-nil, makes whole collection calls fail
 	// transiently for a deterministic subset of blocks.
 	Spurious *SpuriousCollect
+	// Stall, when non-nil, delays collection for a deterministic subset
+	// of blocks.
+	Stall *Stall
+	// Flaps silence observers over windows of collection calls.
+	Flaps []Flap
 }
 
 // observer returns the faults for index i, or nil when there are none.
@@ -248,17 +298,29 @@ func (p *Plan) observer(i int) *ObserverFaults {
 type Engine struct {
 	Inner *probe.Engine
 	Plan  *Plan
+	// Clock times Stall delays (default wall clock); tests inject
+	// health.NewFake to stall without sleeping.
+	Clock health.Clock
 
-	// mu guards attempts, the per-block count of collection calls used by
-	// the Spurious fault to fail the first N and then recover.
+	// mu guards attempts and stalls, the per-block counts of collection
+	// calls used by the Spurious and Stall faults to act on the first N
+	// calls and then recover.
 	mu       sync.Mutex
 	attempts map[netsim.BlockID]int
+	stalls   map[netsim.BlockID]int
+	// calls numbers the engine's collection calls across all blocks; the
+	// Stall warmup and Flap windows are defined over it.
+	calls atomic.Int64
 }
 
 // CollectInto probes the block through the fault plan. The bufs contract
 // matches probe.Engine.CollectInto; corrupted streams may be replaced by
 // fresh slices.
 func (e *Engine) CollectInto(ctx context.Context, b *netsim.Block, start, end int64, bufs [][]probe.Record) ([][]probe.Record, error) {
+	call := e.calls.Add(1)
+	if err := e.stall(ctx, b, call); err != nil {
+		return bufs, err
+	}
 	if err := e.spurious(b); err != nil {
 		return bufs, err
 	}
@@ -296,7 +358,53 @@ func (e *Engine) CollectInto(ctx context.Context, b *netsim.Block, start, end in
 			bufs[oi] = f.Corrupt.apply(e.planSeed(), uint64(oi), uint64(b.ID), bufs[oi])
 		}
 	}
+	if e.Plan != nil {
+		for _, fl := range e.Plan.Flaps {
+			if fl.Observer < 0 || fl.Observer >= len(bufs) {
+				continue
+			}
+			if call >= int64(fl.FromCall) && (fl.ToCall <= 0 || call < int64(fl.ToCall)) {
+				bufs[fl.Observer] = bufs[fl.Observer][:0]
+			}
+		}
+	}
 	return bufs, nil
+}
+
+// stall hangs b's collection call when the Stall fault selects it,
+// returning early only if ctx dies mid-delay.
+func (e *Engine) stall(ctx context.Context, b *netsim.Block, call int64) error {
+	s := e.planStall()
+	if s == nil || s.Prob <= 0 || s.Delay <= 0 || call <= int64(s.FromCall) {
+		return nil
+	}
+	if netsim.HashUnit(e.planSeed(), uint64(b.ID), saltStall) >= s.Prob {
+		return nil
+	}
+	limit := s.Attempts
+	if limit <= 0 {
+		limit = 1
+	}
+	e.mu.Lock()
+	if e.stalls == nil {
+		e.stalls = map[netsim.BlockID]int{}
+	}
+	e.stalls[b.ID]++
+	stalled := e.stalls[b.ID] <= limit
+	e.mu.Unlock()
+	if !stalled {
+		return nil
+	}
+	clock := e.Clock
+	if clock == nil {
+		clock = health.System
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-clock.After(s.Delay):
+		return nil
+	}
 }
 
 // spurious returns the injected transient outage for b's next collection
@@ -330,6 +438,13 @@ func (e *Engine) planSpurious() *SpuriousCollect {
 		return nil
 	}
 	return e.Plan.Spurious
+}
+
+func (e *Engine) planStall() *Stall {
+	if e.Plan == nil {
+		return nil
+	}
+	return e.Plan.Stall
 }
 
 func (e *Engine) planSeed() uint64 {

@@ -1,0 +1,81 @@
+package health
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall time for the supervisor: the watchdog polls and the
+// stall injector sleeps through it, so tests substitute Fake and advance
+// time by hand instead of sleeping.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the time once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// System is the wall-clock Clock used outside tests.
+var System Clock = systemClock{}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time                         { return time.Now() }
+func (systemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Fake is a manually advanced Clock for deterministic tests: Now is frozen
+// until Advance moves it, and After fires exactly when the advancing test
+// crosses the requested instant.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFake returns a Fake clock starting at the Unix epoch.
+func NewFake() *Fake { return &Fake{now: time.Unix(0, 0)} }
+
+// Now returns the fake instant.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// After returns a channel that fires once Advance has moved the clock at
+// least d past the current instant. Non-positive d fires immediately.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- f.now
+		return ch
+	}
+	f.waiters = append(f.waiters, fakeWaiter{at: f.now.Add(d), ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward and fires every waiter whose deadline
+// has been reached, in deadline order.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+	sort.SliceStable(f.waiters, func(i, j int) bool { return f.waiters[i].at.Before(f.waiters[j].at) })
+	kept := f.waiters[:0]
+	for _, w := range f.waiters {
+		if w.at.After(f.now) {
+			kept = append(kept, w)
+			continue
+		}
+		w.ch <- f.now
+	}
+	f.waiters = kept
+}

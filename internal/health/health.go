@@ -1,0 +1,19 @@
+// Package health implements the runtime supervision primitives behind the
+// pipeline's self-healing: per-observer EWMA health scores with a
+// closed/open/half-open circuit breaker each, adaptive straggler deadlines
+// for hedged re-dispatch, and an injectable clock so every timing decision
+// is testable without sleeping.
+//
+// The paper's measurement plane is six unsynchronized observers whose
+// reliability drifts over a quarter (§2.7, §3.3): sites c and g degraded
+// mid-2020 and had to be discarded by a cross-observer comparison. The
+// static pre-scan in internal/core reproduces that decision once, at run
+// start; this package makes the same judgment continuously, so an observer
+// that breaks mid-run is tripped out of subsequent blocks and readmitted
+// only after probation probes look healthy again — the "Less is More"
+// observation (arXiv:2602.03965) that dropping unhealthy vantage points
+// improves rather than hurts inference.
+//
+// Nothing here imports the rest of the repository, so probers, the
+// pipeline, and experiments can all share these types without cycles.
+package health

@@ -312,6 +312,21 @@ func StandardObservers(n int) []Observer {
 	return obs
 }
 
+// Names returns the observer names in engine order, for labeling
+// per-observer diagnostics (health scores, breaker transitions) in
+// reports. Unnamed observers render as their index.
+func (e *Engine) Names() []string {
+	names := make([]string, len(e.Observers))
+	for i, o := range e.Observers {
+		if o.Name != "" {
+			names[i] = o.Name
+		} else {
+			names[i] = fmt.Sprintf("#%d", i)
+		}
+	}
+	return names
+}
+
 // SortRecords orders records by time (stable on equal times), used when
 // tests assemble multi-observer streams by hand.
 func SortRecords(rs []Record) {
