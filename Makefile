@@ -16,9 +16,10 @@ race:
 	$(GO) test -race ./...
 
 # race-crashsafe focuses the race detector on the packages with the most
-# cross-goroutine state: the pipeline/checkpoint machinery and the store.
+# cross-goroutine state: the pipeline/checkpoint machinery, the store,
+# and the lease-fenced shard ledger.
 race-crashsafe:
-	$(GO) test -race ./internal/core/... ./internal/dataset/...
+	$(GO) test -race ./internal/core/... ./internal/dataset/... ./internal/shard/...
 
 # tier1 is the gate every change must pass: clean build, vet, the full
 # test suite, and the crash-safety packages under the race detector.
@@ -42,7 +43,7 @@ experiments:
 # the terminal. The default single-iteration run keeps the full-world
 # benchmarks affordable; override BENCH_ARGS (e.g. -benchtime=2s
 # -bench=Periodogram) for steady-state numbers on a chosen subset.
-BENCH_JSON ?= BENCH_4.json
+BENCH_JSON ?= BENCH_5.json
 BENCH_ARGS ?= -benchtime=1x
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem $(BENCH_ARGS) ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)

@@ -7,8 +7,10 @@
 //	diurnalscan [-blocks N] [-seed S] [-observers K]
 //	            [-start YYYY-MM-DD] [-end YYYY-MM-DD] [-calendar 2020|2023|none]
 //	            [-cells N] [-days N] [-region CODE]
-//	            [-resume FILE] [-timeout DUR] [-verify DIR]
+//	            [-resume FILE] [-timeout DUR] [-verify DIR] [-deadletter DIR]
 //	            [-breaker] [-hedge] [-quorum N]
+//	            [-worker DIR [-shards N] [-workerid ID] [-lease DUR]]
+//	            [-merge DIR]
 //
 // Example: the first Covid quarter at moderate scale.
 //
@@ -19,17 +21,40 @@
 // the same -resume FILE picks up where it stopped and produces results
 // identical to an uninterrupted run. -verify DIR runs an fsck-style
 // integrity check over an archived dataset store and exits non-zero if
-// any observation log is corrupt.
+// any observation log is corrupt. -deadletter DIR quarantines poison
+// blocks — deterministic panics, blown deadlines, corrupt records —
+// into DIR with their fault context; later runs sharing DIR skip them
+// instead of dying on them again.
 //
 // Self-healing: -breaker supervises the observers with runtime circuit
 // breakers (seeded by the §2.7 pre-scan), -hedge re-dispatches straggler
-// blocks past an adaptive latency deadline, and -quorum N flags blocks
+// blocks past an adaptive latency deadline (requires -breaker, whose
+// pre-scan seeds the deadline model), and -quorum N flags blocks
 // analyzed with records from fewer than N observers.
+//
+// Sharded runs: -worker DIR runs this process as one worker of a
+// multi-process fleet sharing the shard ledger at DIR. The first worker
+// passes -shards N to create the ledger (the world is partitioned into N
+// contiguous block ranges); later workers omit it. Workers claim shards
+// under -lease DUR leases with monotonic fencing tokens, so a worker
+// that crashes or stalls loses its shard to a peer after the lease
+// expires, and its late journal writes are rejected rather than
+// duplicated. When every shard is done, -merge DIR (with the same world
+// flags) stitches the per-shard journals into one report and runs a
+// cross-shard integrity audit: frame checksums, no coverage gaps, no
+// conflicting duplicates, dead-letter manifest reconciliation.
+//
+// Flag combinations are validated before any work starts; contradictory
+// ones (-hedge without -breaker, -worker with -merge, a negative
+// -quorum, -resume into a directory that does not exist) exit 2 with a
+// message instead of mis-running.
 //
 // Exit codes: 0 clean, 1 runtime error, 2 usage error, 3 when the run
 // completed but in degraded mode — an observer breaker was still open at
-// the end, or blocks fell below the -quorum floor. Code 3 output is
-// complete but should be treated as lower-confidence.
+// the end, blocks fell below the -quorum floor, or blocks were
+// dead-lettered. Code 3 output is complete but should be treated as
+// lower-confidence. -merge exits 4 when the integrity audit fails: the
+// merged output is untrustworthy and the ledger should be inspected.
 package main
 
 import (
@@ -38,6 +63,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"syscall"
 	"time"
@@ -73,11 +99,79 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (e.g. 10m); finished blocks stay journaled with -resume")
 	verifyDir := flag.String("verify", "", "fsck an archived dataset store at this directory and exit")
 	breaker := flag.Bool("breaker", false, "supervise observers with runtime circuit breakers (implies the pre-scan health check)")
-	hedge := flag.Bool("hedge", false, "re-dispatch straggler blocks past an adaptive latency deadline")
+	hedge := flag.Bool("hedge", false, "re-dispatch straggler blocks past an adaptive latency deadline (requires -breaker)")
 	quorum := flag.Int("quorum", 0, "flag blocks analyzed with fewer than this many observers (0 disables)")
+	deadLetterDir := flag.String("deadletter", "", "quarantine poison blocks into this directory and skip them on later runs")
+	workerDir := flag.String("worker", "", "run as one worker of a sharded fleet sharing the ledger at this directory")
+	shards := flag.Int("shards", 0, "with -worker: create the ledger with this many shards (0 opens an existing ledger)")
+	workerID := flag.String("workerid", "", "with -worker: name this worker in leases and dead letters (default worker-<pid>)")
+	lease := flag.Duration("lease", 0, "with -worker: shard lease duration (default 30s)")
+	mergeDir := flag.String("merge", "", "merge a completed sharded run's ledger at this directory and audit it")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the world run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the world run to this file")
 	flag.Parse()
+
+	// Reject contradictory flag combinations before any work starts: a
+	// bad combination should be a usage error, not a mid-run surprise.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	validateFlags := func() error {
+		if *quorum < 0 {
+			return fmt.Errorf("-quorum must be >= 0 (got %d)", *quorum)
+		}
+		if *hedge && !*breaker {
+			return fmt.Errorf("-hedge requires -breaker: the breaker pre-scan seeds the straggler deadline model")
+		}
+		if *resumePath != "" {
+			if dir := filepath.Dir(*resumePath); dir != "." {
+				if _, err := os.Stat(dir); err != nil {
+					return fmt.Errorf("-resume %s: directory %s does not exist", *resumePath, dir)
+				}
+			}
+		}
+		if *shards < 0 {
+			return fmt.Errorf("-shards must be >= 0 (got %d)", *shards)
+		}
+		if *workerDir != "" && *mergeDir != "" {
+			return fmt.Errorf("-worker and -merge are mutually exclusive: drain the ledger first, then merge it")
+		}
+		sharded := *workerDir != "" || *mergeDir != ""
+		if !sharded {
+			for _, name := range []string{"shards", "workerid", "lease"} {
+				if set[name] {
+					return fmt.Errorf("-%s only applies to sharded runs (use -worker DIR)", name)
+				}
+			}
+		}
+		if sharded && *resumePath != "" {
+			return fmt.Errorf("-resume does not combine with -worker/-merge: sharded runs journal inside the ledger")
+		}
+		if sharded && *deadLetterDir != "" {
+			return fmt.Errorf("-deadletter does not combine with -worker/-merge: the ledger has its own quarantine")
+		}
+		if *mergeDir != "" {
+			for _, name := range []string{"shards", "workerid", "lease", "timeout", "save"} {
+				if set[name] {
+					return fmt.Errorf("-%s does not apply to -merge", name)
+				}
+			}
+		}
+		if set["lease"] && *lease <= 0 {
+			return fmt.Errorf("-lease must be positive (got %s)", *lease)
+		}
+		if *verifyDir != "" {
+			for _, name := range []string{"worker", "merge", "shards", "resume", "deadletter", "save", "report"} {
+				if set[name] {
+					return fmt.Errorf("-verify checks an archived store and exits; -%s does not combine with it", name)
+				}
+			}
+		}
+		return nil
+	}
+	if err := validateFlags(); err != nil {
+		fmt.Fprintf(os.Stderr, "diurnalscan: %v\nrun 'diurnalscan -h' for usage\n", err)
+		os.Exit(2)
+	}
 
 	if *verifyDir != "" {
 		os.Exit(verifyStore(*verifyDir))
@@ -140,24 +234,58 @@ func main() {
 		os.Exit(1)
 	}
 	began := time.Now()
-	report, err := world.RunContext(ctx, cfg, diurnal.RunOptions{
-		CheckpointPath: *resumePath,
-		Breaker:        *breaker,
-		Hedge:          *hedge,
-		Quorum:         *quorum,
-	})
-	if perr := stopProfiles(); perr != nil {
-		fmt.Fprintln(os.Stderr, perr)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		if *resumePath != "" && ctx.Err() != nil {
-			fmt.Fprintf(os.Stderr, "run interrupted; rerun with -resume %s to continue\n", *resumePath)
+	if *workerDir != "" {
+		code := runShardWorker(ctx, world, cfg, diurnal.ShardOptions{
+			Dir:      *workerDir,
+			Shards:   *shards,
+			WorkerID: *workerID,
+			LeaseTTL: *lease,
+		}, began)
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
 		}
-		os.Exit(1)
+		os.Exit(code)
 	}
-	if n := report.Report.ResumedBlocks; n > 0 {
+	var report *diurnal.Report
+	if *mergeDir != "" {
+		var audit *diurnal.ShardAudit
+		report, audit, err = world.MergeShards(cfg, *mergeDir)
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(audit)
+		if !audit.Clean() {
+			fmt.Fprintln(os.Stderr, "merge audit FAILED: the merged output is untrustworthy; inspect the ledger")
+			os.Exit(exitAuditFailed)
+		}
+	} else {
+		report, err = world.RunContext(ctx, cfg, diurnal.RunOptions{
+			CheckpointPath: *resumePath,
+			Breaker:        *breaker,
+			Hedge:          *hedge,
+			Quorum:         *quorum,
+			DeadLetterPath: *deadLetterDir,
+		})
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if *resumePath != "" && ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "run interrupted; rerun with -resume %s to continue\n", *resumePath)
+			}
+			os.Exit(1)
+		}
+	}
+	if n := report.Report.ResumedBlocks; *resumePath != "" && n > 0 {
 		fmt.Printf("resumed %d finished blocks from %s\n", n, *resumePath)
+	}
+	if n := len(report.Report.DeadLettered); n > 0 {
+		fmt.Printf("skipped %d dead-lettered poison blocks (quarantined with fault context)\n", n)
 	}
 	if *saveDir != "" {
 		if err := saveObservations(*saveDir, world, start, end); err != nil {
@@ -235,16 +363,49 @@ func main() {
 
 // exitDegraded is the exit code of a run that finished but with the
 // supervisor reporting degraded coverage: an observer breaker still open
-// at the end, or blocks analyzed below the -quorum floor.
+// at the end, blocks analyzed below the -quorum floor, or poison blocks
+// skipped via the dead-letter quarantine.
 const exitDegraded = 3
+
+// exitAuditFailed is the -merge exit code when the cross-shard integrity
+// audit fails: the merged output must not be trusted.
+const exitAuditFailed = 4
 
 func exitIfDegraded(report *diurnal.Report) {
 	if !report.Report.Degraded() {
 		return
 	}
-	fmt.Fprintf(os.Stderr, "run completed DEGRADED: %d breakers open, %d blocks below quorum\n",
-		len(report.Report.BreakerOpen), len(report.Report.QuorumShortfalls))
+	fmt.Fprintf(os.Stderr, "run completed DEGRADED: %d breakers open, %d blocks below quorum, %d blocks dead-lettered\n",
+		len(report.Report.BreakerOpen), len(report.Report.QuorumShortfalls), len(report.Report.DeadLettered))
 	os.Exit(exitDegraded)
+}
+
+// runShardWorker runs this process as one worker of a sharded fleet and
+// returns its exit code. A worker exits 0 once every shard in the ledger
+// is complete — including shards finished by other workers — so a fleet
+// of identical invocations converges without coordination beyond the
+// ledger itself.
+func runShardWorker(ctx context.Context, world *diurnal.World, cfg diurnal.Config, opts diurnal.ShardOptions, began time.Time) int {
+	rep, err := world.RunShardWorker(ctx, cfg, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "worker interrupted; its lease expires shortly and another worker (or a rerun) takes the shard over")
+		}
+		return 1
+	}
+	fmt.Printf("worker done in %.1fs: completed %d shard(s), analyzed %d blocks\n",
+		time.Since(began).Seconds(), len(rep.CompletedShards), rep.Analyzed)
+	if rep.Resumed > 0 {
+		fmt.Printf("  inherited %d journaled blocks from fenced predecessors\n", rep.Resumed)
+	}
+	if rep.Fenced > 0 {
+		fmt.Printf("  abandoned %d shard(s) to peers after losing the lease\n", rep.Fenced)
+	}
+	if rep.DeadLettered > 0 {
+		fmt.Printf("  dead-lettered %d poison blocks (the merge will report the run degraded)\n", rep.DeadLettered)
+	}
+	return 0
 }
 
 // printSupervisor renders the run's supervision summary: per-observer

@@ -69,6 +69,7 @@ func catalog() []experiment {
 		{"robustness", "detection accuracy under injected measurement faults", wrap(experiments.Robustness)},
 		{"crashresume", "kill-and-resume produces identical results (checkpoint journal)", wrap(experiments.CrashResume)},
 		{"supervisor", "runtime breakers, hedged stragglers, quorum guard (self-healing)", wrap(experiments.Supervisor)},
+		{"shardfailover", "kill -9 a leaseholder mid-shard; fenced takeover merges byte-identical", wrap(experiments.ShardFailover)},
 	}
 }
 

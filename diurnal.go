@@ -46,6 +46,7 @@ import (
 	"github.com/diurnalnet/diurnal/internal/netsim"
 	"github.com/diurnalnet/diurnal/internal/probe"
 	"github.com/diurnalnet/diurnal/internal/reconstruct"
+	"github.com/diurnalnet/diurnal/internal/shard"
 )
 
 // Re-exported pipeline types. Aliases keep the full functionality of the
@@ -223,6 +224,13 @@ type RunOptions struct {
 	// fewer than this many observers (Report.Report.QuorumShortfalls);
 	// such a run reports Degraded.
 	Quorum int
+	// DeadLetterPath, when non-empty, quarantines poison blocks into this
+	// directory: a block whose analysis fails permanently (deterministic
+	// panic, blown deadline, corrupt archive record) is recorded there
+	// with its fault context and skipped — never re-analyzed — by every
+	// later run sharing the directory. Skips and give-ups are listed in
+	// Report.Report.DeadLettered, and such a run reports Degraded.
+	DeadLetterPath string
 }
 
 // Run probes and analyzes the whole world under cfg.
@@ -259,7 +267,91 @@ func (w *World) RunContext(ctx context.Context, cfg Config, opts RunOptions) (*R
 		defer cp.Close()
 		p.Checkpoint = cp
 	}
+	if opts.DeadLetterPath != "" {
+		dl, err := shard.OpenDeadLetters(opts.DeadLetterPath)
+		if err != nil {
+			return nil, err
+		}
+		p.DeadLetter = dl
+	}
 	return p.Run(ctx, w.blocks)
+}
+
+// Sharded runs: several worker processes share one world through a
+// durable file-based ledger (internal/shard). Each worker claims
+// block-range shards under time-bounded leases with monotonic fencing
+// tokens; a crashed or stalled worker's shard is taken over after lease
+// expiry, inheriting its journaled progress. MergeShards stitches every
+// shard's journals into one Report and audits the result.
+type (
+	// ShardReport summarizes one shard worker's run.
+	ShardReport = shard.Report
+	// ShardAudit is the cross-shard integrity audit produced by
+	// MergeShards; the result is trustworthy only when Clean reports true.
+	ShardAudit = shard.Audit
+)
+
+// ShardOptions configures a sharded world run.
+type ShardOptions struct {
+	// Dir is the shard ledger directory, shared by all workers of the run.
+	Dir string
+	// Shards, when positive, creates the ledger with this many block-range
+	// shards (or validates an existing one against it). Zero opens an
+	// existing ledger.
+	Shards int
+	// WorkerID names this worker in leases, completion markers, and dead
+	// letters (default "worker-<pid>").
+	WorkerID string
+	// LeaseTTL is the shard lease duration (default 30s): a worker that
+	// stops renewing for this long loses its shard to another worker.
+	LeaseTTL time.Duration
+	// BlockTimeout and MaxRetries tune the per-shard pipeline exactly as
+	// in RunOptions.
+	BlockTimeout time.Duration
+	MaxRetries   int
+}
+
+// RunShardWorker drains the ledger as one worker: it claims shards until
+// every shard is complete, journaling per-block progress and
+// quarantining poison blocks into the ledger's dead-letter store. Run one
+// process per worker against the same Dir; any of them (or a later
+// process) can then MergeShards.
+func (w *World) RunShardWorker(ctx context.Context, cfg Config, opts ShardOptions) (*ShardReport, error) {
+	ledger, err := w.openLedger(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	worker := &shard.Worker{
+		ID:           opts.WorkerID,
+		Ledger:       ledger,
+		Config:       cfg,
+		Engine:       w.engine,
+		World:        w.blocks,
+		BlockTimeout: opts.BlockTimeout,
+		MaxRetries:   opts.MaxRetries,
+	}
+	return worker.Run(ctx)
+}
+
+// MergeShards stitches a sharded run's per-shard journals and dead-letter
+// manifest into one Report and runs the cross-shard integrity audit. The
+// Report is returned even when the audit fails, for inspection; trust it
+// only when the audit is Clean.
+func (w *World) MergeShards(cfg Config, dir string) (*Report, *ShardAudit, error) {
+	ledger, err := w.openLedger(cfg, ShardOptions{Dir: dir})
+	if err != nil {
+		return nil, nil, err
+	}
+	return ledger.Merge(cfg, w.blocks)
+}
+
+func (w *World) openLedger(cfg Config, opts ShardOptions) (*shard.Ledger, error) {
+	sig := core.RunSignature(cfg, w.blocks)
+	sopt := shard.Options{TTL: opts.LeaseTTL}
+	if opts.Shards > 0 {
+		return shard.Create(opts.Dir, sig, len(w.blocks), opts.Shards, sopt)
+	}
+	return shard.Open(opts.Dir, sig, sopt)
 }
 
 // AnalyzeBlock runs the pipeline on a single simulated block.

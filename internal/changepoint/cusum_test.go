@@ -285,6 +285,100 @@ func TestNormalizeDelegates(t *testing.T) {
 	}
 }
 
+// TestDetectEmptyTrend: an empty series (a block with no trend at all,
+// e.g. never-responsive) must detect nothing, return usable empty sums,
+// and not error — callers feed STL output straight in without length
+// checks.
+func TestDetectEmptyTrend(t *testing.T) {
+	for _, x := range [][]float64{nil, {}} {
+		changes, sums, err := DetectWithSums(x, DefaultOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(changes) != 0 {
+			t.Fatalf("empty series detected %+v", changes)
+		}
+		if sums == nil || len(sums.Pos) != len(x) || len(sums.Neg) != len(x) {
+			t.Fatalf("sums not usable for empty input: %+v", sums)
+		}
+	}
+}
+
+// TestDetectSingleSample: one sample has no differences to accumulate;
+// the detector must return cleanly with sums of length 1.
+func TestDetectSingleSample(t *testing.T) {
+	changes, sums, err := DetectWithSums([]float64{3.14}, DefaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 0 {
+		t.Fatalf("single sample detected %+v", changes)
+	}
+	if len(sums.Pos) != 1 || len(sums.Neg) != 1 || sums.Pos[0] != 0 || sums.Neg[0] != 0 {
+		t.Fatalf("single-sample sums = %+v", sums)
+	}
+}
+
+// TestDetectAllNaN: a trend of NaNs (every z-score undefined — a block
+// whose activity series is all gaps) must not alarm and must not panic.
+// NaN comparisons are false, so the cumulative sums poison to NaN and the
+// threshold test never fires; the contract is zero changes, not garbage
+// ones.
+func TestDetectAllNaN(t *testing.T) {
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = math.NaN()
+	}
+	changes, err := Detect(x, DefaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 0 {
+		t.Fatalf("all-NaN series detected %+v", changes)
+	}
+	// The constant-series cousin: ZScore of a flat trend is all zeros
+	// (zero variance), which likewise must stay silent.
+	flat := Normalize([]float64{7, 7, 7, 7, 7, 7})
+	changes, err = Detect(flat, DefaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 0 {
+		t.Fatalf("flat series detected %+v", changes)
+	}
+}
+
+// TestDetectDriftSwampsExcursions: with drift larger than every
+// first-difference, the cumulative sums are pinned at zero and even a
+// real level shift must not alarm — the classical CUSUM dead zone. This
+// nails the parameter semantics the paper relies on (drift 0.001 being
+// far below real excursions).
+func TestDetectDriftSwampsExcursions(t *testing.T) {
+	// A slow ramp: every per-sample difference is 0.1, well under drift 1.
+	x := step(200, 50, 100, 0, 10)
+	changes, sums, err := DetectWithSums(x, Opts{Threshold: 1, Drift: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 0 {
+		t.Fatalf("drift-swamped series detected %+v", changes)
+	}
+	for i := range sums.Pos {
+		if sums.Pos[i] != 0 || sums.Neg[i] != 0 {
+			t.Fatalf("sums escaped the dead zone at %d: pos=%v neg=%v", i, sums.Pos[i], sums.Neg[i])
+		}
+	}
+	// Sanity: the same shift with the paper's drift does alarm, so the
+	// dead zone above is the drift's doing, not a broken detector.
+	changes, err = Detect(x, DefaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) == 0 {
+		t.Fatal("control detection found nothing; test series too weak")
+	}
+}
+
 func BenchmarkDetectQuarter(b *testing.B) {
 	// A quarter of hourly samples (~2200 points).
 	x := Normalize(step(2200, 1500, 48, 20, 6))

@@ -68,6 +68,12 @@ type checkpointKey struct {
 // are loaded (tolerating a torn final frame), and new completions append
 // behind them. Safe for concurrent Append from pipeline workers.
 type Checkpointer struct {
+	// Fence, when non-nil, is consulted before every Append: a non-nil
+	// return rejects the write and surfaces from Append unchanged. The
+	// shard layer installs a lease check here so a worker whose lease was
+	// reassigned cannot journal late results (see core.ErrFenced).
+	Fence func() error
+
 	mu       sync.Mutex
 	f        *os.File
 	path     string
@@ -76,16 +82,18 @@ type Checkpointer struct {
 	appended int
 }
 
-// OpenCheckpoint opens (or creates) a checkpoint journal. Existing frames
-// are replayed into memory; an incomplete or corrupt tail — the signature
-// of a crash mid-append — is truncated so the journal is append-clean.
-func OpenCheckpoint(path string) (*Checkpointer, error) {
-	c := &Checkpointer{path: path, prior: map[checkpointKey]*BlockOutcome{}}
-	data, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
-		return nil, fmt.Errorf("core: reading checkpoint %s: %w", path, err)
-	}
-	good := 0
+// JournalEntry is one decoded block frame from a checkpoint journal, in
+// append order. Duplicate frames for the same block (possible only when a
+// fenced writer raced a reassigned lease) appear as separate entries.
+type JournalEntry struct {
+	Index   int
+	Outcome *BlockOutcome
+}
+
+// scanFrames walks a journal image frame by frame, returning the header
+// signature, the block entries in append order, and the byte offset of the
+// last intact frame. Everything past that offset is a torn or corrupt tail.
+func scanFrames(data []byte) (sig []byte, entries []JournalEntry, good int) {
 scan:
 	for off := 0; ; {
 		if off+4 > len(data) {
@@ -110,17 +118,52 @@ scan:
 			if err := gob.NewDecoder(bytes.NewReader(payload[1:])).Decode(&h); err != nil {
 				break scan
 			}
-			c.sig = h.Signature
+			sig = h.Signature
 		case frameBlock:
 			index, o, err := decodeBlockFrame(payload[1:])
 			if err != nil {
 				break scan
 			}
-			c.prior[checkpointKey{Index: index, ID: o.ID}] = o
+			entries = append(entries, JournalEntry{Index: index, Outcome: o})
 		default:
 			break scan
 		}
 		good, off = end, end
+	}
+	return sig, entries, good
+}
+
+// ReadCheckpoint scans a checkpoint journal without opening it for writing
+// or truncating its tail: the shard merge step uses it to stitch journals
+// owned by other (possibly still-running) workers. It returns the bound
+// run signature, every intact block frame in append order, and how many
+// trailing bytes were torn or corrupt. A missing file is zero frames, not
+// an error.
+func ReadCheckpoint(path string) (sig []byte, entries []JournalEntry, torn int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, 0, nil
+		}
+		return nil, nil, 0, fmt.Errorf("core: reading checkpoint %s: %w", path, err)
+	}
+	sig, entries, good := scanFrames(data)
+	return sig, entries, len(data) - good, nil
+}
+
+// OpenCheckpoint opens (or creates) a checkpoint journal. Existing frames
+// are replayed into memory; an incomplete or corrupt tail — the signature
+// of a crash mid-append — is truncated so the journal is append-clean.
+func OpenCheckpoint(path string) (*Checkpointer, error) {
+	c := &Checkpointer{path: path, prior: map[checkpointKey]*BlockOutcome{}}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("core: reading checkpoint %s: %w", path, err)
+	}
+	sig, entries, good := scanFrames(data)
+	c.sig = sig
+	for _, e := range entries {
+		c.prior[checkpointKey{Index: e.Index, ID: e.Outcome.ID}] = e.Outcome
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
@@ -157,6 +200,21 @@ func (c *Checkpointer) Lookup(index int, id netsim.BlockID) (*BlockOutcome, bool
 	return o, ok
 }
 
+// SeedPrior registers an outcome as already finished without writing a
+// frame: the pipeline will restore it through Lookup instead of
+// re-analyzing the block. A shard worker taking over an expired lease
+// seeds its fresh journal with the previous leaseholders' frames, so work
+// completed under earlier fencing tokens is never redone (and never
+// re-journaled — the merge step reads every token's journal).
+func (c *Checkpointer) SeedPrior(index int, o *BlockOutcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := checkpointKey{Index: index, ID: o.ID}
+	if _, ok := c.prior[key]; !ok {
+		c.prior[key] = o
+	}
+}
+
 // ensureSignature binds the journal to a run signature: a fresh journal
 // records it in a header frame; an existing journal must match, so
 // resuming with a different config or world fails loudly instead of
@@ -183,6 +241,11 @@ func (c *Checkpointer) ensureSignature(sig []byte) error {
 // happens outside the journal lock, so concurrent workers serialize only
 // on the write itself, not on the encoder.
 func (c *Checkpointer) Append(index int, o BlockOutcome) error {
+	if c.Fence != nil {
+		if err := c.Fence(); err != nil {
+			return err
+		}
+	}
 	frame, err := encodeBlockFrame(index, o)
 	if err != nil {
 		return err
@@ -302,8 +365,18 @@ func (c *Checkpointer) Close() error {
 	return err
 }
 
-// runSignature digests the analysis config and world identity; it decides
-// whether a checkpoint journal may be resumed.
+// RunSignature digests the analysis config and world identity; it decides
+// whether a checkpoint journal may be resumed. The shard ledger reuses it
+// to bind a whole ledger to one (config, world) pair and each per-shard
+// journal to its block-range slice of the world.
+func RunSignature(cfg Config, world []*dataset.WorldBlock) []byte {
+	// Normalize first: Pipeline.Run signs the defaults-applied config, and
+	// external signatures (shard manifests, per-shard journal checks) must
+	// agree with the headers the pipeline actually writes.
+	return runSignature(cfg.withDefaults(), world)
+}
+
+// runSignature is RunSignature; the pipeline calls it internally.
 func runSignature(cfg Config, world []*dataset.WorldBlock) []byte {
 	h := sha256.New()
 	enc := gob.NewEncoder(h)
@@ -336,6 +409,15 @@ func (r *WorldResult) Fingerprint() (string, error) {
 		return "", err
 	}
 	if err := enc.Encode(r.Report.AnalyzedBlocks); err != nil {
+		return "", err
+	}
+	// Dead-lettered blocks are part of the run's identity too: a sharded
+	// run must quarantine exactly the blocks a single-process run would.
+	dls := make([]string, 0, len(r.Report.DeadLettered))
+	for _, e := range r.Report.DeadLettered {
+		dls = append(dls, e.Error())
+	}
+	if err := enc.Encode(dls); err != nil {
 		return "", err
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil

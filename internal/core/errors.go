@@ -39,6 +39,13 @@ func IsTransient(err error) bool {
 	return errors.As(err, &t) && t.Transient()
 }
 
+// ErrFenced reports that a journal append was rejected because the
+// writer's lease over its work was reassigned to a newer holder: a
+// fenced worker must stop, not retry — its shard now belongs to someone
+// else, and anything it would write is already (or will be) produced by
+// the new leaseholder. Classify with errors.Is.
+var ErrFenced = errors.New("core: journal writer fenced (lease reassigned)")
+
 // PanicError is a worker panic converted into an ordinary error: the
 // pipeline recovers per-block panics so one pathological block costs one
 // BlockError, not the whole world run.

@@ -29,6 +29,20 @@ type Prober interface {
 	CollectInto(ctx context.Context, b *netsim.Block, start, end int64, bufs [][]probe.Record) ([][]probe.Record, error)
 }
 
+// DeadLetterer quarantines poison blocks: blocks whose analysis fails
+// permanently (a deterministic panic, a blown per-block deadline, an
+// exhausted transient-retry budget, a corrupt archived log) are recorded
+// durably and skipped on every later attempt instead of burning their
+// retry budget again. internal/shard.DeadLetterStore is the file-backed
+// implementation.
+type DeadLetterer interface {
+	// Lookup reports whether the block is already quarantined, and why.
+	Lookup(index int, id netsim.BlockID) (reason string, ok bool)
+	// Record quarantines the block with its fault context. Recording the
+	// same block twice must be idempotent (first write wins).
+	Record(index int, id netsim.BlockID, err error) error
+}
+
 // BlockOutcome pairs a block's pipeline result with its placement.
 type BlockOutcome struct {
 	ID       netsim.BlockID
@@ -101,14 +115,20 @@ type RunReport struct {
 	// aggregates because QuarantineBelowQuorum was set. Their analyses
 	// remain in WorldResult.Blocks for inspection.
 	QuarantinedBlocks int
+	// DeadLettered lists blocks quarantined through Pipeline.DeadLetter in
+	// world order: permanent per-block failures recorded durably and
+	// skipped on resume instead of being retried forever. Their
+	// WorldResult.Blocks entries carry a nil Analysis, and they do not
+	// appear in BlockErrors.
+	DeadLettered []BlockError
 }
 
 // Degraded reports whether the run finished in degraded mode: observers
-// still tripped out by their breakers, or blocks analyzed below the
-// observer quorum. Scripted runs use this (via diurnalscan's exit code)
-// to detect partial-confidence output.
+// still tripped out by their breakers, blocks analyzed below the observer
+// quorum, or blocks dead-lettered out of the run. Scripted runs use this
+// (via diurnalscan's exit code) to detect partial-confidence output.
 func (r *RunReport) Degraded() bool {
-	return len(r.BreakerOpen) > 0 || len(r.QuorumShortfalls) > 0
+	return len(r.BreakerOpen) > 0 || len(r.QuorumShortfalls) > 0 || len(r.DeadLettered) > 0
 }
 
 // WorldResult aggregates a whole-world pipeline run.
@@ -178,6 +198,13 @@ type Pipeline struct {
 	// finishes first (results are identical either way — analysis is
 	// deterministic) and journaling exactly once.
 	Hedge *health.HedgeConfig
+	// DeadLetter, when non-nil, quarantines poison blocks: a block whose
+	// analysis fails permanently is recorded there (with its fault
+	// context) instead of in Report.BlockErrors, and blocks already
+	// quarantined are skipped — never re-analyzed — with the skip recorded
+	// in Report.DeadLettered. Blocks interrupted by run-level cancellation
+	// are neither: they stay eligible for the resumed run.
+	DeadLetter DeadLetterer
 	// Quorum, when positive, flags blocks analyzed with fewer than this
 	// many contributing observers in Report.QuorumShortfalls.
 	Quorum int
@@ -360,6 +387,9 @@ dispatch:
 	sort.Slice(res.Report.BlockErrors, func(i, j int) bool {
 		return res.Report.BlockErrors[i].Index < res.Report.BlockErrors[j].Index
 	})
+	sort.Slice(res.Report.DeadLettered, func(i, j int) bool {
+		return res.Report.DeadLettered[i].Index < res.Report.DeadLettered[j].Index
+	})
 	for i := range res.Blocks {
 		b := &res.Blocks[i]
 		if b.Analysis != nil {
@@ -382,6 +412,9 @@ dispatch:
 	if len(world) > 0 && res.Report.AnalyzedBlocks == 0 && len(res.Report.BlockErrors) > 0 {
 		return res, fmt.Errorf("core: all %d blocks failed: %w", len(world), res.Report.BlockErrors[0])
 	}
+	if len(world) > 0 && res.Report.AnalyzedBlocks == 0 && len(res.Report.DeadLettered) == len(world) {
+		return res, fmt.Errorf("core: all %d blocks dead-lettered: %w", len(world), res.Report.DeadLettered[0])
+	}
 	return res, nil
 }
 
@@ -397,6 +430,19 @@ func (p *Pipeline) runBlock(ctx context.Context, eng Prober, sup *supervisedProb
 			mu.Lock()
 			*resumed++
 			mu.Unlock()
+			return
+		}
+	}
+	// A block already dead-lettered (by this run's earlier life, or by
+	// another worker sharing the quarantine store) is skipped outright: a
+	// poison block must cost its retry budget once, not once per resume.
+	if p.DeadLetter != nil {
+		if reason, ok := p.DeadLetter.Lookup(i, wb.ID); ok {
+			mu.Lock()
+			res.Report.DeadLettered = append(res.Report.DeadLettered,
+				BlockError{Index: i, ID: wb.ID, Err: fmt.Errorf("%s", reason)})
+			mu.Unlock()
+			res.Blocks[i] = BlockOutcome{ID: wb.ID, Place: wb.Place}
 			return
 		}
 	}
@@ -423,6 +469,21 @@ func (p *Pipeline) runBlock(ctx context.Context, eng Prober, sup *supervisedProb
 		// nor failed: leave it for the resumed run.
 		if ctx.Err() != nil {
 			return
+		}
+		// With a quarantine attached, a permanent failure is dead-lettered:
+		// recorded durably with its fault context and skipped by every
+		// later resume. Only if the quarantine itself cannot record does
+		// the failure fall back to an ordinary (retryable-on-resume)
+		// BlockError.
+		if p.DeadLetter != nil {
+			if dlErr := p.DeadLetter.Record(i, wb.ID, err); dlErr == nil {
+				mu.Lock()
+				res.Report.DeadLettered = append(res.Report.DeadLettered,
+					BlockError{Index: i, ID: wb.ID, Err: err})
+				mu.Unlock()
+				res.Blocks[i] = BlockOutcome{ID: wb.ID, Place: wb.Place}
+				return
+			}
 		}
 		mu.Lock()
 		res.Report.BlockErrors = append(res.Report.BlockErrors, BlockError{Index: i, ID: wb.ID, Err: err})
@@ -576,6 +637,30 @@ func (p *excludeProber) CollectInto(ctx context.Context, b *netsim.Block, start,
 		}
 	}
 	return bufs, nil
+}
+
+// Reaggregate rebuilds every world-level tally (cells, daily up/down
+// counts, change-sensitive totals, AnalyzedBlocks) from Blocks alone. The
+// shard merge step assembles Blocks from per-shard journals and calls this
+// to reproduce exactly the aggregates a single-process Run would have
+// computed. A nil Report is allocated.
+func (r *WorldResult) Reaggregate() {
+	r.Cells = map[geo.CellKey]*geo.CellStats{}
+	r.DownDaily = map[geo.CellKey]map[int64]int{}
+	r.UpDaily = map[geo.CellKey]map[int64]int{}
+	r.CellCS = map[geo.CellKey]int{}
+	r.ContinentCS = map[geo.Continent]int{}
+	if r.Report == nil {
+		r.Report = &RunReport{}
+	}
+	r.Report.AnalyzedBlocks = 0
+	for i := range r.Blocks {
+		b := &r.Blocks[i]
+		if b.Analysis != nil {
+			r.Report.AnalyzedBlocks++
+		}
+		r.aggregate(b)
+	}
 }
 
 // aggregate folds one block outcome into the world-level tallies.

@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/probe"
 )
 
 // buildTestStore archives a small deterministic world and returns the
@@ -110,6 +112,58 @@ func TestVerifyCorruptionMatrix(t *testing.T) {
 				t.Fatalf("report does not render damage:\n%s", rep)
 			}
 		})
+	}
+}
+
+// TestVerifyReportsAllFaultsInOnePass plants several duplicated
+// observations in one log — each with a freshly valid trailer, so only
+// the semantic scan can see them — and requires a single Verify pass to
+// report every one of them, not just the first.
+func TestVerifyReportsAllFaultsInOnePass(t *testing.T) {
+	store, dir, blocks := buildTestStore(t)
+	victim := blocks[1]
+	path := filepath.Join(dir, logName(victim, 0))
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := ReadRecords(bufio.NewReader(f))
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) < 2 {
+		t.Fatalf("victim log too small to mangle: %d records", len(records))
+	}
+	// Duplicate the first two records in place: r0 r0 r1 r1 rest...
+	mangled := []probe.Record{records[0], records[0], records[1], records[1]}
+	mangled = append(mangled, records[2:]...)
+	var buf strings.Builder
+	if err := WriteRecords(&buf, mangled); err != nil {
+		t.Fatal(err)
+	}
+	writeLog(t, path, []byte(buf.String()))
+
+	rep, err := store.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Faults) != 2 {
+		t.Fatalf("one pass found %d faults, want both duplicates:\n%s", len(rep.Faults), rep)
+	}
+	for _, fa := range rep.Faults {
+		if fa.ID != victim || fa.Obs != 0 {
+			t.Fatalf("fault misattributed to block %v obs %d", fa.ID, fa.Obs)
+		}
+		if !errors.Is(fa.Err, ErrCorruptLog) {
+			t.Fatalf("semantic fault must classify as ErrCorruptLog, got %v", fa.Err)
+		}
+	}
+	if rep.OK != rep.Logs-1 {
+		t.Fatalf("two faults in one log must cost one OK log, not %d of %d", rep.OK, rep.Logs)
+	}
+	if bad := rep.BadBlocks(); len(bad) != 1 || bad[0] != victim {
+		t.Fatalf("quarantined %v, want exactly [%v]", bad, victim)
 	}
 }
 

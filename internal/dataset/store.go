@@ -238,7 +238,8 @@ func (r *VerifyReport) BadBlocks() []netsim.BlockID {
 // String renders an fsck-style summary.
 func (r *VerifyReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "checked %d blocks, %d logs: %d ok, %d damaged", r.Blocks, r.Logs, r.OK, len(r.Faults))
+	fmt.Fprintf(&b, "checked %d blocks, %d logs: %d ok, %d damaged (%d faults)",
+		r.Blocks, r.Logs, r.OK, r.Logs-r.OK, len(r.Faults))
 	if len(r.DuplicateIndex) > 0 {
 		fmt.Fprintf(&b, ", %d duplicate index entries", len(r.DuplicateIndex))
 	}
@@ -274,11 +275,14 @@ func (s *Store) Verify() (*VerifyReport, error) {
 		id := netsim.BlockID(be.ID)
 		for oi := 0; oi < len(idx.Sites); oi++ {
 			rep.Logs++
-			if err := s.verifyLog(id, oi); err != nil {
-				rep.Faults = append(rep.Faults, LogFault{ID: id, Obs: oi, Err: err})
+			faults := s.verifyLog(id, oi)
+			if len(faults) == 0 {
+				rep.OK++
 				continue
 			}
-			rep.OK++
+			for _, ferr := range faults {
+				rep.Faults = append(rep.Faults, LogFault{ID: id, Obs: oi, Err: ferr})
+			}
 		}
 	}
 	return rep, nil
@@ -286,24 +290,31 @@ func (s *Store) Verify() (*VerifyReport, error) {
 
 // verifyLog decodes one log and checks semantic invariants the checksum
 // cannot: duplicate (time, address) observations from a replayed batch
-// that was archived with a valid trailer.
-func (s *Store) verifyLog(id netsim.BlockID, oi int) error {
+// that was archived with a valid trailer. It reports every fault it finds
+// in one pass rather than stopping at the first, so a log damaged by
+// several replayed batches shows the full extent of the damage in a
+// single fsck run. Structural damage (bad magic, truncation, checksum
+// mismatch) is still one fault: the log is a single checksummed blob, so
+// past the first bad byte there is no trustworthy frame boundary to
+// resync at.
+func (s *Store) verifyLog(id netsim.BlockID, oi int) []error {
 	f, err := os.Open(filepath.Join(s.dir, logName(id, oi)))
 	if err != nil {
-		return err
+		return []error{err}
 	}
 	defer f.Close()
 	records, err := ReadRecords(bufio.NewReader(f))
 	if err != nil {
-		return err
+		return []error{err}
 	}
+	var faults []error
 	for i := 1; i < len(records); i++ {
 		if records[i].T == records[i-1].T && records[i].Addr == records[i-1].Addr {
-			return fmt.Errorf("dataset: duplicate observation of addr %d at t=%d: %w",
-				records[i].Addr, records[i].T, ErrCorruptLog)
+			faults = append(faults, fmt.Errorf("dataset: duplicate observation of addr %d at t=%d: %w",
+				records[i].Addr, records[i].T, ErrCorruptLog))
 		}
 	}
-	return nil
+	return faults
 }
 
 // Replay returns a prober that serves collections from the store's logs

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShardFailover exercises the sharded-run acceptance contract at
+// reduced scale. ShardFailover itself errors on any contract breach (kill
+// never fired, takeover missing, audit unclean, duplicate frames,
+// fingerprint divergence, dead-letter mismatch, stall never fenced), so a
+// nil error plus the verdict fields is the whole acceptance check.
+func TestShardFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several world analyses across worker fleets")
+	}
+	res, err := ShardFailover(Options{Blocks: 72})
+	if err != nil {
+		t.Fatalf("shard failover contract broken: %v", err)
+	}
+	if !res.Identical || !res.StallIdentical {
+		t.Fatalf("sharded results diverged:\n%s", res)
+	}
+	if res.DuplicateFrames != 0 {
+		t.Fatalf("crash leg accepted %d duplicate frames:\n%s", res.DuplicateFrames, res)
+	}
+	if res.StallConflicts != 0 {
+		t.Fatalf("stall leg recorded %d conflicts:\n%s", res.StallConflicts, res)
+	}
+	if !res.DeadLettersExact || res.DeadLetters == 0 {
+		t.Fatalf("dead-letter manifest wrong:\n%s", res)
+	}
+	if res.StallFenced == 0 {
+		t.Fatalf("stalled worker was never fenced:\n%s", res)
+	}
+	if !strings.Contains(res.String(), "IDENTICAL") {
+		t.Fatalf("report does not state the verdict:\n%s", res)
+	}
+}

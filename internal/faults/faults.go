@@ -51,6 +51,7 @@ const (
 	saltTrunc  uint64 = 0xfa06
 	saltSpur   uint64 = 0xfa07
 	saltStall  uint64 = 0xfa08
+	saltPoison uint64 = 0xfa09
 )
 
 // Downtime is a half-open window [Start, End) during which an observer is
@@ -252,6 +253,26 @@ type Stall struct {
 	FromCall int
 }
 
+// Poison marks a deterministic subset of blocks as poison: every
+// collection call for a selected block panics, on every attempt, forever —
+// a block whose data tickles a deterministic bug in the collector. Unlike
+// Spurious (transient, cleared by retry) or Stall (slow but eventually
+// fine), a poison block can never complete: without a dead-letter
+// quarantine it burns its retry budget on every resume and stalls a shard
+// forever; with one it is recorded and skipped, which is exactly the path
+// this injector exists to exercise.
+type Poison struct {
+	// Prob is the per-block probability the block is poison.
+	Prob float64
+}
+
+// Selects reports whether the plan seed marks block id as poison; the
+// shard-failover experiment uses it to compute the expected dead-letter
+// manifest without running anything.
+func (p *Poison) Selects(seed uint64, id netsim.BlockID) bool {
+	return p != nil && p.Prob > 0 && netsim.HashUnit(seed, uint64(id), saltPoison) < p.Prob
+}
+
 // Flap silences one observer over a window of the engine's collection
 // calls: from call FromCall (inclusive) to ToCall (exclusive; 0 = never
 // ends), the observer's stream is emptied after collection. Counting
@@ -278,6 +299,9 @@ type Plan struct {
 	// Stall, when non-nil, delays collection for a deterministic subset
 	// of blocks.
 	Stall *Stall
+	// Poison, when non-nil, makes collection panic deterministically for
+	// a subset of blocks, on every attempt.
+	Poison *Poison
 	// Flaps silence observers over windows of collection calls.
 	Flaps []Flap
 }
@@ -318,6 +342,12 @@ type Engine struct {
 // fresh slices.
 func (e *Engine) CollectInto(ctx context.Context, b *netsim.Block, start, end int64, bufs [][]probe.Record) ([][]probe.Record, error) {
 	call := e.calls.Add(1)
+	if p := e.planPoison(); p.Selects(e.planSeed(), b.ID) {
+		// The panic unwinds into the pipeline's per-block recovery and
+		// becomes a core.PanicError; the deterministic message keeps
+		// dead-letter manifests byte-identical across workers and runs.
+		panic(fmt.Sprintf("faults: poison block %s", b.ID))
+	}
 	if err := e.stall(ctx, b, call); err != nil {
 		return bufs, err
 	}
@@ -445,6 +475,13 @@ func (e *Engine) planStall() *Stall {
 		return nil
 	}
 	return e.Plan.Stall
+}
+
+func (e *Engine) planPoison() *Poison {
+	if e.Plan == nil {
+		return nil
+	}
+	return e.Plan.Poison
 }
 
 func (e *Engine) planSeed() uint64 {

@@ -1,0 +1,80 @@
+package faults
+
+// Process-level injectors: where faults.Engine mangles the measurement
+// plane, these break the worker process itself — the failure modes a
+// multi-process sharded run must survive. WorkerCrash is a deterministic
+// stand-in for kill -9 arriving mid-run; LeaseStall models a worker that
+// keeps computing but stops renewing its lease (a long GC pause, a
+// wedged heartbeat thread), which is precisely the scenario monotonic
+// fencing tokens exist for.
+
+import (
+	"context"
+	"sync"
+
+	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/probe"
+)
+
+// Collector is the prober surface the process injectors wrap. It matches
+// core.Prober structurally, so the wrappers drop into the pipeline without
+// this package importing core (which would cycle through core's tests).
+type Collector interface {
+	CollectInto(ctx context.Context, b *netsim.Block, start, end int64, bufs [][]probe.Record) ([][]probe.Record, error)
+}
+
+// WorkerCrash cancels a run's context after a budget of completed
+// collections — kill -9 as the pipeline experiences it: the process stops
+// mid-run without releasing its leases, closing its journals, or writing
+// any farewell. Everything downstream (lease expiry, takeover by another
+// worker, journal stitching at merge) must cope with exactly this.
+type WorkerCrash struct {
+	// Inner is the wrapped prober.
+	Inner Collector
+	// Kill is invoked once, after AfterCollections collections complete —
+	// typically a context.CancelFunc covering the worker's whole run.
+	Kill func()
+	// AfterCollections is the number of completed collections to survive.
+	AfterCollections int
+
+	mu   sync.Mutex
+	done int
+}
+
+// CollectInto forwards to the wrapped prober, counting completions and
+// firing Kill when the budget is spent.
+func (w *WorkerCrash) CollectInto(ctx context.Context, b *netsim.Block, start, end int64, bufs [][]probe.Record) ([][]probe.Record, error) {
+	bufs, err := w.Inner.CollectInto(ctx, b, start, end, bufs)
+	if err != nil {
+		return bufs, err
+	}
+	w.mu.Lock()
+	w.done++
+	if w.done == w.AfterCollections {
+		w.Kill()
+	}
+	w.mu.Unlock()
+	return bufs, nil
+}
+
+// LeaseStall suppresses a worker's lease renewals after the first
+// AllowRenewals, so the lease expires from the ledger's point of view
+// while the worker keeps running and writing. A second worker then claims
+// the shard under a higher fencing token, and the stalled worker's late
+// journal appends must be rejected. Install it as a shard worker's
+// RenewGate.
+type LeaseStall struct {
+	// AllowRenewals is how many renewals succeed before the stall.
+	AllowRenewals int
+
+	mu    sync.Mutex
+	count int
+}
+
+// Allow reports whether the next renewal may proceed.
+func (s *LeaseStall) Allow() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count++
+	return s.count <= s.AllowRenewals
+}

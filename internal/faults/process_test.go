@@ -1,0 +1,87 @@
+package faults
+
+import (
+	"context"
+	"testing"
+
+	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/probe"
+)
+
+// TestPoisonDeterministic asserts the poison injector panics for exactly
+// the blocks Selects reports, with a byte-identical message on every
+// attempt — the property the dead-letter manifest's exactly-once contract
+// rests on.
+func TestPoisonDeterministic(t *testing.T) {
+	eng := &probe.Engine{Observers: probe.StandardObservers(2), QuarterSeed: 7}
+	poison := &Poison{Prob: 0.3}
+	faulty := &Engine{Inner: eng, Plan: &Plan{Seed: 99, Poison: poison}}
+	b, err := netsim.NewBlock(0x1234, 5, netsim.Spec{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect := func() (msg string) {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = r.(string)
+			}
+		}()
+		_, err := faulty.CollectInto(context.Background(), b, jan6, jan6+3600, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ""
+	}
+	first := collect()
+	if poison.Selects(99, b.ID) != (first != "") {
+		t.Fatalf("Selects=%v but collection panic=%q", poison.Selects(99, b.ID), first)
+	}
+	for i := 0; i < 3; i++ {
+		if got := collect(); got != first {
+			t.Fatalf("attempt %d panicked %q, first attempt %q", i+2, got, first)
+		}
+	}
+	// A poison probability of 1 must select every block.
+	all := &Poison{Prob: 1}
+	if !all.Selects(99, b.ID) {
+		t.Fatal("Prob=1 did not select the block")
+	}
+	if (&Poison{}).Selects(99, b.ID) {
+		t.Fatal("zero-value poison selected a block")
+	}
+}
+
+// TestWorkerCrashFiresOnce asserts the kill fires exactly once, after the
+// configured number of completed collections.
+func TestWorkerCrashFiresOnce(t *testing.T) {
+	eng := &probe.Engine{Observers: probe.StandardObservers(1), QuarterSeed: 7}
+	kills := 0
+	crash := &WorkerCrash{Inner: eng, Kill: func() { kills++ }, AfterCollections: 3}
+	b, err := netsim.NewBlock(0x77, 5, netsim.Spec{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := crash.CollectInto(context.Background(), b, jan6, jan6+3600, nil); err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		if i >= 2 {
+			want = 1
+		}
+		if kills != want {
+			t.Fatalf("after %d collections: %d kills, want %d", i+1, kills, want)
+		}
+	}
+}
+
+// TestLeaseStallGate asserts the gate allows exactly the configured number
+// of renewals and then stalls forever.
+func TestLeaseStallGate(t *testing.T) {
+	gate := &LeaseStall{AllowRenewals: 2}
+	for i, want := range []bool{true, true, false, false, false} {
+		if got := gate.Allow(); got != want {
+			t.Fatalf("renewal %d: Allow=%v, want %v", i+1, got, want)
+		}
+	}
+}
