@@ -1,7 +1,7 @@
 GO ?= go
 FSCK_DIR ?= /tmp/diurnal-fsck-store
 
-.PHONY: build test tier1 vet race race-crashsafe fsck experiments bench
+.PHONY: build test tier1 vet race race-crashsafe fsck soak experiments bench
 
 build:
 	$(GO) build ./...
@@ -17,9 +17,9 @@ race:
 
 # race-crashsafe focuses the race detector on the packages with the most
 # cross-goroutine state: the pipeline/checkpoint machinery, the store,
-# and the lease-fenced shard ledger.
+# the lease-fenced shard ledger, and the streaming daemon.
 race-crashsafe:
-	$(GO) test -race ./internal/core/... ./internal/dataset/... ./internal/shard/...
+	$(GO) test -race ./internal/core/... ./internal/dataset/... ./internal/shard/... ./internal/stream/...
 
 # tier1 is the gate every change must pass: clean build, vet, the full
 # test suite, and the crash-safety packages under the race detector.
@@ -34,6 +34,13 @@ fsck: build
 	$(GO) run ./cmd/diurnalscan -verify $(FSCK_DIR)
 	rm -rf $(FSCK_DIR)
 
+# soak runs the deterministic short chaos soak against the streaming
+# daemon: fault-injected observers, seeded-random SIGKILLs, and the full
+# invariant suite (prefix identity, exact resume, latency bound) on every
+# incarnation. The nightly CI job runs the longer randomized variant.
+soak:
+	$(GO) test ./internal/stream/ -run 'TestChaosSoakShort' -v
+
 experiments:
 	$(GO) run ./cmd/experiments
 
@@ -43,7 +50,7 @@ experiments:
 # the terminal. The default single-iteration run keeps the full-world
 # benchmarks affordable; override BENCH_ARGS (e.g. -benchtime=2s
 # -bench=Periodogram) for steady-state numbers on a chosen subset.
-BENCH_JSON ?= BENCH_5.json
+BENCH_JSON ?= BENCH_6.json
 BENCH_ARGS ?= -benchtime=1x
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem $(BENCH_ARGS) ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)

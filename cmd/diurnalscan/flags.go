@@ -1,0 +1,121 @@
+package main
+
+// Flag-combination validation, separated from main so the exit-2 matrix
+// is testable: contradictory invocations must be rejected before any
+// work starts, as usage errors rather than mid-run surprises.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// cliFlags carries every flag value that participates in combination
+// validation, plus the set of flags explicitly present on the command
+// line (a default value and an explicit one validate differently).
+type cliFlags struct {
+	quorum         int
+	breaker, hedge bool
+	resumePath     string
+	deadLetterDir  string
+	saveDir        string
+	verifyDir      string
+
+	workerDir string
+	shards    int
+	lease     time.Duration
+
+	mergeDir string
+
+	daemonDir    string
+	roundLen     time.Duration
+	refreshEvery int
+	confirm      int
+	maxQueue     int
+	watchdog     time.Duration
+
+	set map[string]bool
+}
+
+func (f *cliFlags) validate() error {
+	if f.quorum < 0 {
+		return fmt.Errorf("-quorum must be >= 0 (got %d)", f.quorum)
+	}
+	if f.hedge && !f.breaker {
+		return fmt.Errorf("-hedge requires -breaker: the breaker pre-scan seeds the straggler deadline model")
+	}
+	if f.resumePath != "" {
+		if dir := filepath.Dir(f.resumePath); dir != "." {
+			if _, err := os.Stat(dir); err != nil {
+				return fmt.Errorf("-resume %s: directory %s does not exist", f.resumePath, dir)
+			}
+		}
+	}
+	if f.shards < 0 {
+		return fmt.Errorf("-shards must be >= 0 (got %d)", f.shards)
+	}
+	if f.workerDir != "" && f.mergeDir != "" {
+		return fmt.Errorf("-worker and -merge are mutually exclusive: drain the ledger first, then merge it")
+	}
+	if f.daemonDir != "" {
+		if f.workerDir != "" || f.mergeDir != "" {
+			return fmt.Errorf("-daemon and -worker/-merge are mutually exclusive: the daemon is a single-process stream over its own WAL")
+		}
+		if f.resumePath != "" {
+			return fmt.Errorf("-resume does not combine with -daemon: the daemon journals rounds and events in its own WAL under the -daemon directory")
+		}
+		for _, name := range []string{"breaker", "hedge", "quorum", "deadletter", "save"} {
+			if f.set[name] {
+				return fmt.Errorf("-%s does not apply to -daemon runs", name)
+			}
+		}
+		if f.roundLen <= 0 || f.roundLen%time.Hour != 0 {
+			return fmt.Errorf("-roundlen must be a positive multiple of 1h (got %s)", f.roundLen)
+		}
+		if f.refreshEvery < 1 || f.confirm < 1 || f.maxQueue < 1 {
+			return fmt.Errorf("-refresh, -confirm and -maxqueue must be >= 1")
+		}
+		if f.set["watchdog"] && f.watchdog <= 0 {
+			return fmt.Errorf("-watchdog must be positive (got %s)", f.watchdog)
+		}
+	} else {
+		for _, name := range []string{"roundlen", "refresh", "confirm", "maxqueue", "watchdog"} {
+			if f.set[name] {
+				return fmt.Errorf("-%s only applies to streaming runs (use -daemon DIR)", name)
+			}
+		}
+	}
+	sharded := f.workerDir != "" || f.mergeDir != ""
+	if !sharded {
+		for _, name := range []string{"shards", "workerid", "lease"} {
+			if f.set[name] {
+				return fmt.Errorf("-%s only applies to sharded runs (use -worker DIR)", name)
+			}
+		}
+	}
+	if sharded && f.resumePath != "" {
+		return fmt.Errorf("-resume does not combine with -worker/-merge: sharded runs journal inside the ledger")
+	}
+	if sharded && f.deadLetterDir != "" {
+		return fmt.Errorf("-deadletter does not combine with -worker/-merge: the ledger has its own quarantine")
+	}
+	if f.mergeDir != "" {
+		for _, name := range []string{"shards", "workerid", "lease", "timeout", "save"} {
+			if f.set[name] {
+				return fmt.Errorf("-%s does not apply to -merge", name)
+			}
+		}
+	}
+	if f.set["lease"] && f.lease <= 0 {
+		return fmt.Errorf("-lease must be positive (got %s)", f.lease)
+	}
+	if f.verifyDir != "" {
+		for _, name := range []string{"worker", "merge", "shards", "resume", "deadletter", "save", "report", "daemon"} {
+			if f.set[name] {
+				return fmt.Errorf("-verify checks an archived store and exits; -%s does not combine with it", name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package main
+
+// The exit-2 flag matrix: every contradictory combination must be
+// rejected by validation, and the legitimate ones must pass.
+
+import (
+	"testing"
+	"time"
+)
+
+// base returns a flag state equivalent to an invocation with only the
+// listed flags explicitly set.
+func base(set ...string) *cliFlags {
+	f := &cliFlags{
+		roundLen:     24 * time.Hour,
+		refreshEvery: 1,
+		confirm:      2,
+		maxQueue:     64,
+		set:          map[string]bool{},
+	}
+	for _, name := range set {
+		f.set[name] = true
+	}
+	return f
+}
+
+func TestFlagMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		f    *cliFlags
+		ok   bool
+	}{
+		{"defaults", base(), true},
+		{"negative quorum", func() *cliFlags { f := base("quorum"); f.quorum = -1; return f }(), false},
+		{"hedge without breaker", func() *cliFlags { f := base("hedge"); f.hedge = true; return f }(), false},
+		{"hedge with breaker", func() *cliFlags {
+			f := base("hedge", "breaker")
+			f.hedge, f.breaker = true, true
+			return f
+		}(), true},
+		{"worker and merge", func() *cliFlags {
+			f := base("worker", "merge")
+			f.workerDir, f.mergeDir = "w", "m"
+			return f
+		}(), false},
+		{"shards without worker", func() *cliFlags { f := base("shards"); f.shards = 4; return f }(), false},
+		{"worker with shards", func() *cliFlags {
+			f := base("worker", "shards")
+			f.workerDir, f.shards = "w", 4
+			return f
+		}(), true},
+
+		// The daemon rows of the matrix.
+		{"daemon alone", func() *cliFlags { f := base("daemon"); f.daemonDir = "d"; return f }(), true},
+		{"daemon with worker", func() *cliFlags {
+			f := base("daemon", "worker")
+			f.daemonDir, f.workerDir = "d", "w"
+			return f
+		}(), false},
+		{"daemon with merge", func() *cliFlags {
+			f := base("daemon", "merge")
+			f.daemonDir, f.mergeDir = "d", "m"
+			return f
+		}(), false},
+		{"daemon with resume", func() *cliFlags {
+			f := base("daemon", "resume")
+			f.daemonDir, f.resumePath = "d", "run.ckpt"
+			return f
+		}(), false},
+		{"daemon with breaker", func() *cliFlags {
+			f := base("daemon", "breaker")
+			f.daemonDir, f.breaker = "d", true
+			return f
+		}(), false},
+		{"daemon tuning flags", func() *cliFlags {
+			f := base("daemon", "roundlen", "refresh", "confirm", "maxqueue", "watchdog")
+			f.daemonDir = "d"
+			f.roundLen = 6 * time.Hour
+			f.refreshEvery, f.confirm, f.maxQueue = 4, 3, 16
+			f.watchdog = time.Minute
+			return f
+		}(), true},
+		{"roundlen without daemon", func() *cliFlags {
+			f := base("roundlen")
+			f.roundLen = 6 * time.Hour
+			return f
+		}(), false},
+		{"refresh without daemon", func() *cliFlags { f := base("refresh"); f.refreshEvery = 7; return f }(), false},
+		{"watchdog without daemon", func() *cliFlags { f := base("watchdog"); f.watchdog = time.Minute; return f }(), false},
+		{"daemon bad roundlen", func() *cliFlags {
+			f := base("daemon", "roundlen")
+			f.daemonDir, f.roundLen = "d", 90*time.Minute
+			return f
+		}(), false},
+		{"daemon zero watchdog set", func() *cliFlags {
+			f := base("daemon", "watchdog")
+			f.daemonDir, f.watchdog = "d", 0
+			return f
+		}(), false},
+		{"verify with daemon", func() *cliFlags {
+			f := base("verify", "daemon")
+			f.verifyDir, f.daemonDir = "v", "d"
+			return f
+		}(), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.f.validate()
+			if tc.ok && err != nil {
+				t.Errorf("combination rejected: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Error("contradictory combination accepted")
+			}
+		})
+	}
+}

@@ -11,6 +11,8 @@
 //	            [-breaker] [-hedge] [-quorum N]
 //	            [-worker DIR [-shards N] [-workerid ID] [-lease DUR]]
 //	            [-merge DIR]
+//	            [-daemon DIR [-roundlen DUR] [-refresh N] [-confirm N]
+//	             [-maxqueue N] [-watchdog DUR]]
 //
 // Example: the first Covid quarter at moderate scale.
 //
@@ -44,10 +46,24 @@
 // cross-shard integrity audit: frame checksums, no coverage gaps, no
 // conflicting duplicates, dead-letter manifest reconciliation.
 //
+// Streaming: -daemon DIR runs the window as a continuous-ingestion
+// stream instead of a retrospective batch. Probe rounds are ingested
+// incrementally (each -roundlen of data, default 24h), every round is
+// made durable in a write-ahead log under DIR before admission, and
+// change events are emitted with bounded latency — at most
+// -confirm × -refresh rounds after a change is confirmed and stable —
+// each journaled with a contiguous sequence number before it is printed.
+// A killed daemon rerun with the same DIR and flags resumes by
+// deterministic WAL replay to the exact detector state and event
+// sequence; SIGTERM drains the admitted rounds and shuts down cleanly.
+// -watchdog DUR restarts a wedged analysis step by the same replay. The
+// final report is identical to a batch run of the same world.
+//
 // Flag combinations are validated before any work starts; contradictory
-// ones (-hedge without -breaker, -worker with -merge, a negative
-// -quorum, -resume into a directory that does not exist) exit 2 with a
-// message instead of mis-running.
+// ones (-hedge without -breaker, -worker with -merge, -daemon with
+// -resume, daemon tuning flags without -daemon, a negative -quorum,
+// -resume into a directory that does not exist) exit 2 with a message
+// instead of mis-running.
 //
 // Exit codes: 0 clean, 1 runtime error, 2 usage error, 3 when the run
 // completed but in degraded mode — an observer breaker was still open at
@@ -63,7 +79,6 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"sort"
 	"syscall"
 	"time"
@@ -107,6 +122,12 @@ func main() {
 	workerID := flag.String("workerid", "", "with -worker: name this worker in leases and dead letters (default worker-<pid>)")
 	lease := flag.Duration("lease", 0, "with -worker: shard lease duration (default 30s)")
 	mergeDir := flag.String("merge", "", "merge a completed sharded run's ledger at this directory and audit it")
+	daemonDir := flag.String("daemon", "", "stream the window through a crash-safe ingestion daemon rooted at this directory")
+	roundLen := flag.Duration("roundlen", 24*time.Hour, "with -daemon: data per ingested round (multiple of 1h)")
+	refreshEvery := flag.Int("refresh", 1, "with -daemon: run a trend refresh every N rounds")
+	confirm := flag.Int("confirm", 2, "with -daemon: consecutive refreshes a change must survive before emission")
+	maxQueue := flag.Int("maxqueue", 64, "with -daemon: admitted-but-unprocessed round bound (ingestion blocks beyond it)")
+	watchdog := flag.Duration("watchdog", 0, "with -daemon: restart a wedged analysis step after this long (0 disables)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the world run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the world run to this file")
 	flag.Parse()
@@ -115,60 +136,27 @@ func main() {
 	// bad combination should be a usage error, not a mid-run surprise.
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	validateFlags := func() error {
-		if *quorum < 0 {
-			return fmt.Errorf("-quorum must be >= 0 (got %d)", *quorum)
-		}
-		if *hedge && !*breaker {
-			return fmt.Errorf("-hedge requires -breaker: the breaker pre-scan seeds the straggler deadline model")
-		}
-		if *resumePath != "" {
-			if dir := filepath.Dir(*resumePath); dir != "." {
-				if _, err := os.Stat(dir); err != nil {
-					return fmt.Errorf("-resume %s: directory %s does not exist", *resumePath, dir)
-				}
-			}
-		}
-		if *shards < 0 {
-			return fmt.Errorf("-shards must be >= 0 (got %d)", *shards)
-		}
-		if *workerDir != "" && *mergeDir != "" {
-			return fmt.Errorf("-worker and -merge are mutually exclusive: drain the ledger first, then merge it")
-		}
-		sharded := *workerDir != "" || *mergeDir != ""
-		if !sharded {
-			for _, name := range []string{"shards", "workerid", "lease"} {
-				if set[name] {
-					return fmt.Errorf("-%s only applies to sharded runs (use -worker DIR)", name)
-				}
-			}
-		}
-		if sharded && *resumePath != "" {
-			return fmt.Errorf("-resume does not combine with -worker/-merge: sharded runs journal inside the ledger")
-		}
-		if sharded && *deadLetterDir != "" {
-			return fmt.Errorf("-deadletter does not combine with -worker/-merge: the ledger has its own quarantine")
-		}
-		if *mergeDir != "" {
-			for _, name := range []string{"shards", "workerid", "lease", "timeout", "save"} {
-				if set[name] {
-					return fmt.Errorf("-%s does not apply to -merge", name)
-				}
-			}
-		}
-		if set["lease"] && *lease <= 0 {
-			return fmt.Errorf("-lease must be positive (got %s)", *lease)
-		}
-		if *verifyDir != "" {
-			for _, name := range []string{"worker", "merge", "shards", "resume", "deadletter", "save", "report"} {
-				if set[name] {
-					return fmt.Errorf("-verify checks an archived store and exits; -%s does not combine with it", name)
-				}
-			}
-		}
-		return nil
+	cli := &cliFlags{
+		quorum:        *quorum,
+		breaker:       *breaker,
+		hedge:         *hedge,
+		resumePath:    *resumePath,
+		deadLetterDir: *deadLetterDir,
+		saveDir:       *saveDir,
+		verifyDir:     *verifyDir,
+		workerDir:     *workerDir,
+		shards:        *shards,
+		lease:         *lease,
+		mergeDir:      *mergeDir,
+		daemonDir:     *daemonDir,
+		roundLen:      *roundLen,
+		refreshEvery:  *refreshEvery,
+		confirm:       *confirm,
+		maxQueue:      *maxQueue,
+		watchdog:      *watchdog,
+		set:           set,
 	}
-	if err := validateFlags(); err != nil {
+	if err := cli.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "diurnalscan: %v\nrun 'diurnalscan -h' for usage\n", err)
 		os.Exit(2)
 	}
@@ -247,7 +235,28 @@ func main() {
 		os.Exit(code)
 	}
 	var report *diurnal.Report
-	if *mergeDir != "" {
+	if *daemonDir != "" {
+		var events int
+		report, events, err = runDaemon(ctx, world, cfg, diurnal.StreamOptions{
+			Dir:              *daemonDir,
+			RoundLen:         int64(*roundLen / time.Second),
+			RefreshEvery:     *refreshEvery,
+			ConfirmRefreshes: *confirm,
+			MaxQueue:         *maxQueue,
+			Watchdog:         *watchdog,
+		})
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "daemon drained and stopped; rerun with -daemon %s to continue the stream\n", *daemonDir)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("stream complete: %d change events journaled under %s\n\n", events, *daemonDir)
+	} else if *mergeDir != "" {
 		var audit *diurnal.ShardAudit
 		report, audit, err = world.MergeShards(cfg, *mergeDir)
 		if perr := stopProfiles(); perr != nil {
@@ -378,6 +387,20 @@ func exitIfDegraded(report *diurnal.Report) {
 	fmt.Fprintf(os.Stderr, "run completed DEGRADED: %d breakers open, %d blocks below quorum, %d blocks dead-lettered\n",
 		len(report.Report.BreakerOpen), len(report.Report.QuorumShortfalls), len(report.Report.DeadLettered))
 	os.Exit(exitDegraded)
+}
+
+// runDaemon streams the world through the crash-safe ingestion daemon,
+// printing each change event as it is journaled. The returned report is
+// identical to a batch run of the same world.
+func runDaemon(ctx context.Context, world *diurnal.World, cfg diurnal.Config, opts diurnal.StreamOptions) (*diurnal.Report, int, error) {
+	opts.OnEvent = func(ev diurnal.StreamEvent) {
+		lag := ev.EmitSeq - ev.FirstSeenSeq
+		fmt.Printf("event %4d  %v  %-4s change around %s  (confirmed %d rounds after first seen)\n",
+			ev.Seq, ev.ID, ev.Change.Dir,
+			time.Unix(ev.Change.Point, 0).UTC().Format("2006-01-02"), lag)
+	}
+	report, events, err := world.RunStream(ctx, cfg, opts)
+	return report, len(events), err
 }
 
 // runShardWorker runs this process as one worker of a sharded fleet and

@@ -70,6 +70,7 @@ func catalog() []experiment {
 		{"crashresume", "kill-and-resume produces identical results (checkpoint journal)", wrap(experiments.CrashResume)},
 		{"supervisor", "runtime breakers, hedged stragglers, quorum guard (self-healing)", wrap(experiments.Supervisor)},
 		{"shardfailover", "kill -9 a leaseholder mid-shard; fenced takeover merges byte-identical", wrap(experiments.ShardFailover)},
+		{"streaming", "streaming daemon: kill-and-resume event identity, bounded detection latency", wrap(experiments.Streaming)},
 	}
 }
 

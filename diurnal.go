@@ -47,6 +47,7 @@ import (
 	"github.com/diurnalnet/diurnal/internal/probe"
 	"github.com/diurnalnet/diurnal/internal/reconstruct"
 	"github.com/diurnalnet/diurnal/internal/shard"
+	"github.com/diurnalnet/diurnal/internal/stream"
 )
 
 // Re-exported pipeline types. Aliases keep the full functionality of the
@@ -352,6 +353,103 @@ func (w *World) openLedger(cfg Config, opts ShardOptions) (*shard.Ledger, error)
 		return shard.Create(opts.Dir, sig, len(w.blocks), opts.Shards, sopt)
 	}
 	return shard.Open(opts.Dir, sig, sopt)
+}
+
+// Streaming runs: instead of analyzing the window retrospectively, a
+// daemon ingests probe rounds incrementally and emits change events with
+// bounded latency as the data frontier advances. Every round is made
+// durable in a write-ahead log before admission and every event is
+// journaled before delivery, so a killed daemon resumes — by
+// deterministic replay — to the exact detector state and event sequence
+// it would have had uninterrupted.
+type (
+	// StreamEvent is one change detection emitted by a streaming run,
+	// exactly once, with a contiguous sequence number.
+	StreamEvent = stream.Event
+	// StreamStats snapshots streaming-daemon health.
+	StreamStats = stream.Stats
+)
+
+// StreamOptions configures a crash-safe streaming run.
+type StreamOptions struct {
+	// Dir is the daemon's durable state directory (round and event WALs).
+	// Rerunning with the same Dir resumes after a crash; the WALs are
+	// bound to the (config, world) pair and refuse a different run.
+	Dir string
+	// RoundLen is the seconds of data per ingested round (default one
+	// day; must be a multiple of 3600).
+	RoundLen int64
+	// RefreshEvery runs a trend refresh every N rounds (default 1).
+	RefreshEvery int
+	// ConfirmRefreshes is how many consecutive refreshes a candidate
+	// change must survive before it is emitted (default 2). Together with
+	// RefreshEvery it bounds detection latency.
+	ConfirmRefreshes int
+	// MaxQueue bounds admitted-but-unprocessed rounds; ingestion blocks
+	// (bounded admission) when the analysis loop falls this far behind
+	// (default 64).
+	MaxQueue int
+	// Watchdog, when positive, restarts the analysis loop if one step
+	// wedges for this long; state is rebuilt by WAL replay.
+	Watchdog time.Duration
+	// OnEvent, when non-nil, receives each event right after it is
+	// journaled, in sequence order.
+	OnEvent func(StreamEvent)
+}
+
+// RunStream probes and analyzes the world as a stream. It feeds every
+// round of the analysis window through a durable ingestion daemon rooted
+// at opts.Dir and returns the final world report (identical to a batch
+// Run of the same world) plus the complete journaled event log. When ctx
+// is canceled mid-stream the daemon drains the rounds already admitted,
+// shuts down cleanly, and returns the events journaled so far with ctx's
+// error; a later RunStream with the same Dir resumes where it stopped.
+func (w *World) RunStream(ctx context.Context, cfg Config, opts StreamOptions) (*Report, []StreamEvent, error) {
+	scfg := stream.Config{
+		Core:             cfg,
+		RoundLen:         opts.RoundLen,
+		RefreshEvery:     opts.RefreshEvery,
+		ConfirmRefreshes: opts.ConfirmRefreshes,
+		MaxQueue:         opts.MaxQueue,
+		Watchdog:         opts.Watchdog,
+		OnEvent:          opts.OnEvent,
+	}
+	d, err := stream.Open(opts.Dir, w.blocks, len(w.engine.Observers), scfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := stream.NewFeeder(ctx, w.engine, w.blocks, scfg)
+	if err != nil {
+		d.Close()
+		return nil, nil, err
+	}
+	d.Start()
+	if err := f.Feed(ctx, d); err != nil {
+		// Graceful drain on cancellation: everything admitted is
+		// processed and journaled before shutdown, so nothing is lost.
+		drainErr := d.Drain(context.Background())
+		evs := d.Events()
+		if cerr := d.Close(); drainErr == nil {
+			drainErr = cerr
+		}
+		_ = drainErr
+		return nil, evs, err
+	}
+	if err := d.Drain(ctx); err != nil {
+		evs := d.Events()
+		d.Close()
+		return nil, evs, err
+	}
+	res, err := d.Result()
+	if err != nil {
+		d.Close()
+		return nil, d.Events(), err
+	}
+	evs := d.Events()
+	if err := d.Close(); err != nil {
+		return res, evs, err
+	}
+	return res, evs, nil
 }
 
 // AnalyzeBlock runs the pipeline on a single simulated block.

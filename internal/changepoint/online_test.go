@@ -1,0 +1,119 @@
+package changepoint
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// stepSeries builds a noisy series with a few injected level shifts, noisy
+// enough to trip CUSUM repeatedly.
+func stepSeries(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	level := 0.0
+	for i := range x {
+		if i > 0 && rng.Intn(97) == 0 {
+			level += rng.NormFloat64() * 3
+		}
+		x[i] = level + rng.NormFloat64()*0.1
+	}
+	return x
+}
+
+// batchForward is the batch reference the online detector must match: the
+// forward pass with contiguous-alarm merging (no time-reversed end
+// refinement, which needs the future).
+func batchForward(x []float64, opts Opts) []Change {
+	return mergeContiguous(detectOnePass(x, opts, nil))
+}
+
+func TestOnlineMatchesBatchForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	opts := Opts{Threshold: 1, Drift: 0.004}
+	for trial := 0; trial < 20; trial++ {
+		x := stepSeries(rng, 500+rng.Intn(500))
+		want := batchForward(x, opts)
+		o, err := NewOnline(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range x {
+			o.Update(v)
+		}
+		if !reflect.DeepEqual(stripAmp(want), stripAmp(o.Changes())) {
+			t.Fatalf("trial %d: online %v != batch %v", trial, o.Changes(), want)
+		}
+		if o.Count() != len(x) {
+			t.Fatalf("trial %d: count %d != %d", trial, o.Count(), len(x))
+		}
+	}
+}
+
+// TestOnlineChunkingInvariant feeds the same series in random chunk sizes
+// and asserts the result never depends on the chunking.
+func TestOnlineChunkingInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	opts := Opts{Threshold: 1, Drift: 0.004}
+	x := stepSeries(rng, 2000)
+	want := batchForward(x, opts)
+	for trial := 0; trial < 10; trial++ {
+		o, _ := NewOnline(opts)
+		for i := 0; i < len(x); {
+			j := i + 1 + rng.Intn(40)
+			if j > len(x) {
+				j = len(x)
+			}
+			o.UpdateBatch(x[i:j])
+			i = j
+		}
+		if !reflect.DeepEqual(stripAmp(want), stripAmp(o.Changes())) {
+			t.Fatalf("trial %d: chunked online diverged from batch", trial)
+		}
+	}
+}
+
+// TestOnlineSnapshotRestore kills the detector at an arbitrary point,
+// restores from its persisted state, and checks the combined run is
+// identical to an uninterrupted one — the crash-resume contract the
+// streaming daemon relies on.
+func TestOnlineSnapshotRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	opts := Opts{Threshold: 1, Drift: 0.004}
+	x := stepSeries(rng, 1500)
+	want := batchForward(x, opts)
+	for _, cut := range []int{0, 1, 7, 500, 1499} {
+		o1, _ := NewOnline(opts)
+		o1.UpdateBatch(x[:cut])
+		st := o1.State()
+		emitted := append([]Change(nil), o1.Changes()...)
+		o2, err := RestoreOnline(opts, st, emitted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2.UpdateBatch(x[cut:])
+		if !reflect.DeepEqual(stripAmp(want), stripAmp(o2.Changes())) {
+			t.Fatalf("cut %d: restored run diverged from uninterrupted", cut)
+		}
+	}
+}
+
+func TestOnlineRejectsBadOpts(t *testing.T) {
+	if _, err := NewOnline(Opts{Threshold: 0}); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := NewOnline(Opts{Threshold: 1, Drift: -1}); err == nil {
+		t.Error("negative drift accepted")
+	}
+}
+
+// stripAmp zeroes amplitudes for comparison: Online does not fill them
+// (documented), and the batch forward pass leaves them zero too — this
+// keeps the comparison honest if that ever changes.
+func stripAmp(cs []Change) []Change {
+	out := make([]Change, len(cs))
+	copy(out, cs)
+	for i := range out {
+		out[i].Amplitude = 0
+	}
+	return out
+}

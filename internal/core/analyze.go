@@ -220,28 +220,44 @@ func (a *BlockAnalysis) DownChanges() []Change {
 // streams. eb is the block's target list E(b). Blocks that are not
 // change-sensitive still get a Series and Class but no trend analysis.
 func (cfg Config) AnalyzeRecords(perObs [][]probe.Record, eb []int) (*BlockAnalysis, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
+	return cfg.AnalyzeCollectedScratch(perObs, eb, nil)
+}
+
+// AnalyzeCollectedScratch is the shared analysis kernel: it takes
+// already-collected per-observer probe streams and runs sanitization,
+// repair, merge, reconstruction, classification, and trend/change
+// detection. Both the batch driver (AnalyzeBlockScratch, which collects
+// then calls here) and the streaming daemon (internal/stream, which
+// accumulates rounds then calls here on every refresh) use this one entry
+// point, so a streaming run that has seen a block's full window produces
+// bit-identical results to a batch run. perObs is mutated in place
+// (sanitize/repair); sc may be nil for a one-shot call.
+func (cfg Config) AnalyzeCollectedScratch(perObs [][]probe.Record, eb []int, sc *Scratch) (*BlockAnalysis, error) {
+	c := cfg.withDefaults()
+	if err := c.validate(); err != nil {
 		return nil, err
 	}
 	if len(eb) == 0 {
 		return &BlockAnalysis{Series: &reconstruct.Series{}}, nil
 	}
-	var san reconstruct.SanitizeReport
-	if cfg.SanitizeRecords {
-		san = cfg.sanitizeStreams(perObs)
+	if sc == nil {
+		sc = NewScratch()
 	}
-	if cfg.Repair {
+	var san reconstruct.SanitizeReport
+	if c.SanitizeRecords {
+		san = c.sanitizeStreams(perObs)
+	}
+	if c.Repair {
 		for _, stream := range perObs {
 			reconstruct.Repair1Loss(stream)
 		}
 	}
-	merged := reconstruct.Merge(perObs)
-	series, err := reconstruct.Reconstruct(merged, eb)
+	sc.merged = reconstruct.MergeInto(sc.merged, perObs)
+	series, err := reconstruct.Reconstruct(sc.merged, eb)
 	if err != nil {
 		return nil, err
 	}
-	return cfg.analyzeSeries(series, cfg.detectOutages(merged), san)
+	return c.analyzeSeriesScratch(series, c.detectOutages(sc.merged), san, sc)
 }
 
 // sanitizeStreams window-clips, re-sorts, and de-duplicates each observer
@@ -592,19 +608,5 @@ func (cfg Config) AnalyzeBlockScratch(ctx context.Context, eng Prober, b *netsim
 	if err != nil {
 		return nil, err
 	}
-	var san reconstruct.SanitizeReport
-	if c.SanitizeRecords {
-		san = c.sanitizeStreams(sc.perObs)
-	}
-	if c.Repair {
-		for _, stream := range sc.perObs {
-			reconstruct.Repair1Loss(stream)
-		}
-	}
-	sc.merged = reconstruct.MergeInto(sc.merged, sc.perObs)
-	series, err := reconstruct.Reconstruct(sc.merged, eb)
-	if err != nil {
-		return nil, err
-	}
-	return c.analyzeSeriesScratch(series, c.detectOutages(sc.merged), san, sc)
+	return c.AnalyzeCollectedScratch(sc.perObs, eb, sc)
 }

@@ -24,12 +24,6 @@ import (
 	"github.com/diurnalnet/diurnal/internal/netsim"
 )
 
-var checkpointCRC = crc32.MakeTable(crc32.Castagnoli)
-
-// maxFrame bounds a single journal frame; a length prefix beyond it is
-// treated as tail corruption, not an allocation request.
-const maxFrame = 1 << 28
-
 // Frame payload tags.
 const (
 	frameHeader = 'H'
@@ -90,46 +84,30 @@ type JournalEntry struct {
 	Outcome *BlockOutcome
 }
 
-// scanFrames walks a journal image frame by frame, returning the header
-// signature, the block entries in append order, and the byte offset of the
-// last intact frame. Everything past that offset is a torn or corrupt tail.
+// scanFrames walks a journal image frame by frame (via the shared
+// WalkFrames envelope scan), returning the header signature, the block
+// entries in append order, and the byte offset of the last intact frame.
+// Everything past that offset is a torn or corrupt tail.
 func scanFrames(data []byte) (sig []byte, entries []JournalEntry, good int) {
-scan:
-	for off := 0; ; {
-		if off+4 > len(data) {
-			break
-		}
-		n := binary.LittleEndian.Uint32(data[off:])
-		if n == 0 || n > maxFrame {
-			break
-		}
-		end := off + 4 + int(n) + 4
-		if end > len(data) {
-			break
-		}
-		payload := data[off+4 : off+4+int(n)]
-		stored := binary.LittleEndian.Uint32(data[off+4+int(n):])
-		if crc32.Checksum(payload, checkpointCRC) != stored {
-			break
-		}
+	good = WalkFrames(data, func(payload []byte) error {
 		switch payload[0] {
 		case frameHeader:
 			var h checkpointHeader
 			if err := gob.NewDecoder(bytes.NewReader(payload[1:])).Decode(&h); err != nil {
-				break scan
+				return err
 			}
 			sig = h.Signature
 		case frameBlock:
 			index, o, err := decodeBlockFrame(payload[1:])
 			if err != nil {
-				break scan
+				return err
 			}
 			entries = append(entries, JournalEntry{Index: index, Outcome: o})
 		default:
-			break scan
+			return fmt.Errorf("core: unknown frame tag %q", payload[0])
 		}
-		good, off = end, end
-	}
+		return nil
+	})
 	return sig, entries, good
 }
 
@@ -290,7 +268,7 @@ func encodeBlockFrame(index int, o BlockOutcome) ([]byte, error) {
 		frame = append(frame, blob...)
 		frame = o.Analysis.appendSections(frame)
 	}
-	return binary.LittleEndian.AppendUint32(frame, crc32.Checksum(frame[4:], checkpointCRC)), nil
+	return binary.LittleEndian.AppendUint32(frame, crc32.Checksum(frame[4:], FrameCRC)), nil
 }
 
 // decodeBlockFrame is the inverse of encodeBlockFrame, minus the tag byte
@@ -346,7 +324,7 @@ func encodeFrame(tag byte, v any) ([]byte, error) {
 	frame := make([]byte, 0, 8+payload.Len())
 	frame = binary.LittleEndian.AppendUint32(frame, uint32(payload.Len()))
 	frame = append(frame, payload.Bytes()...)
-	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload.Bytes(), checkpointCRC))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload.Bytes(), FrameCRC))
 	return frame, nil
 }
 

@@ -1,0 +1,68 @@
+package core
+
+// Shared CRC-framed record machinery. The checkpoint journal and the
+// streaming daemon's ingestion WAL (internal/stream) store different
+// payloads but share one durability envelope: every record is written as
+//
+//	[u32 length | payload | u32 CRC32C]
+//
+// with the length little-endian and the CRC computed over the payload
+// alone. An append is a single write(), so a record is durable across
+// process death the moment the call returns; a crash mid-append leaves a
+// torn tail that the open-time scan detects (short frame, zero/oversized
+// length, or CRC mismatch) and truncates.
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// FrameCRC is the CRC32C (Castagnoli) table every framed journal in this
+// repository checks against.
+var FrameCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// MaxFrame bounds a single frame's payload; a length prefix beyond it is
+// treated as tail corruption, not an allocation request.
+const MaxFrame = 1 << 28
+
+// AppendFrame appends one framed record to dst and returns the extended
+// slice. Empty or oversized payloads are the caller's bug; they would be
+// unreadable (a zero length terminates the scan), so they panic loudly.
+func AppendFrame(dst, payload []byte) []byte {
+	if len(payload) == 0 || len(payload) > MaxFrame {
+		panic("core: frame payload empty or over MaxFrame")
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, FrameCRC))
+}
+
+// WalkFrames scans data frame by frame, invoking fn on each intact
+// payload, and returns the byte offset just past the last frame that both
+// checksummed and decoded (fn returned nil). Everything at or past the
+// returned offset is a torn or corrupt tail: a short frame, a zero or
+// oversized length prefix, a CRC mismatch, or a payload fn rejected.
+func WalkFrames(data []byte, fn func(payload []byte) error) (good int) {
+	for off := 0; ; {
+		if off+4 > len(data) {
+			return good
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		if n == 0 || n > MaxFrame {
+			return good
+		}
+		end := off + 4 + int(n) + 4
+		if end > len(data) || end < off {
+			return good
+		}
+		payload := data[off+4 : off+4+int(n)]
+		stored := binary.LittleEndian.Uint32(data[off+4+int(n):])
+		if crc32.Checksum(payload, FrameCRC) != stored {
+			return good
+		}
+		if err := fn(payload); err != nil {
+			return good
+		}
+		good, off = end, end
+	}
+}

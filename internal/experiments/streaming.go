@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/diurnalnet/diurnal/internal/core"
+	"github.com/diurnalnet/diurnal/internal/dataset"
+	"github.com/diurnalnet/diurnal/internal/events"
+	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/probe"
+	"github.com/diurnalnet/diurnal/internal/stream"
+)
+
+// StreamingResult records the streaming-daemon acceptance experiment: one
+// world is analyzed three ways — batch, streamed uninterrupted, and
+// streamed with repeated SIGKILLs — and the streaming contracts are
+// checked: batch-identical final result, exact kill-and-resume event
+// identity, the bounded-latency guarantee, and detection lag measured
+// against the simulator's scheduled ground-truth events.
+type StreamingResult struct {
+	// Blocks is the world size; Rounds the number of daily rounds streamed.
+	Blocks int
+	Rounds int64
+	// Events is the journaled event count of the uninterrupted run.
+	Events int
+	// EarlyEvents is how many were emitted before the final flush — actual
+	// streaming detections, not retrospective ones.
+	EarlyEvents int
+	// BatchIdentical reports whether the streaming result fingerprint
+	// equals the batch pipeline's.
+	BatchIdentical bool
+	// Incarnations is how many daemon lives the killed run took; Identical
+	// whether its event log and result matched the uninterrupted run's.
+	Incarnations int
+	Identical    bool
+	// LatencyBoundRounds is the contract bound (ConfirmRefreshes ×
+	// RefreshEvery); MaxLatencyRounds the worst observed emit latency among
+	// pre-final events. The contract holds iff Max ≤ Bound.
+	LatencyBoundRounds, MaxLatencyRounds int64
+	// TruthMatched counts events attributable to a scheduled simulator
+	// event; MeanLagDays averages, over those, the days between the true
+	// onset and the end of the round whose refresh emitted the event.
+	TruthMatched int
+	MeanLagDays  float64
+}
+
+// String renders the check as text.
+func (r *StreamingResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "streaming daemon over %d blocks, %d daily rounds:\n", r.Blocks, r.Rounds)
+	verdict := func(ok bool) string {
+		if ok {
+			return "OK"
+		}
+		return "VIOLATED"
+	}
+	fmt.Fprintf(&b, "  %d events journaled (%d emitted mid-stream, before the final flush)\n", r.Events, r.EarlyEvents)
+	fmt.Fprintf(&b, "  batch parity:    %s (streaming result fingerprint equals batch run)\n", verdict(r.BatchIdentical))
+	fmt.Fprintf(&b, "  kill-and-resume: %s (%d daemon incarnations, exact event-log identity)\n", verdict(r.Identical), r.Incarnations)
+	fmt.Fprintf(&b, "  latency bound:   %s (worst emit latency %d rounds, bound %d)\n",
+		verdict(r.MaxLatencyRounds <= r.LatencyBoundRounds), r.MaxLatencyRounds, r.LatencyBoundRounds)
+	fmt.Fprintf(&b, "  ground truth:    %d events matched scheduled changes, mean detection lag %.1f days\n",
+		r.TruthMatched, r.MeanLagDays)
+	return b.String()
+}
+
+// Streaming is the streaming-daemon acceptance experiment. A non-nil
+// error means a streaming contract is broken.
+func Streaming(opts Options) (*StreamingResult, error) {
+	start, end := q1Window()
+	world, err := dataset.BuildWorld(dataset.WorldOpts{
+		Blocks:   opts.blocks(64),
+		Seed:     opts.seed() + 31,
+		Calendar: events.Year2020(),
+		Start:    start,
+		End:      end,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cc := core.DefaultConfig(start, end)
+	cc.BaselineStart = start
+	cc.BaselineEnd = netsim.Date(2020, time.January, 29)
+	cfg := stream.Config{Core: cc, RefreshEvery: 7, ConfirmRefreshes: 2}
+	eng := &probe.Engine{Observers: probe.StandardObservers(4), QuarterSeed: opts.seed()}
+
+	// Reference 1: the batch pipeline.
+	batch, err := (&core.Pipeline{Config: cc, Engine: eng}).Run(opts.ctx(), world)
+	if err != nil {
+		return nil, fmt.Errorf("batch run: %w", err)
+	}
+	batchFP, err := batch.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+
+	// One collection, shared by every streaming leg: the feeder chops the
+	// same records batch analyzed into daily rounds.
+	feeder, err := stream.NewFeeder(opts.ctx(), eng, world, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &StreamingResult{
+		Blocks:             len(world),
+		Rounds:             feeder.Rounds(),
+		LatencyBoundRounds: 2 * 7, // ConfirmRefreshes * RefreshEvery
+	}
+
+	tmp, err := os.MkdirTemp("", "diurnal-streaming")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	// Reference 2: the uninterrupted streaming run.
+	refEvents, refFP, err := streamToEnd(opts.ctx(), tmp+"/ref", world, feeder, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("uninterrupted streaming run: %w", err)
+	}
+	res.Events = len(refEvents)
+	res.BatchIdentical = refFP == batchFP
+	if !res.BatchIdentical {
+		return res, fmt.Errorf("streaming result diverged from batch: %s != %s", refFP[:16], batchFP[:16])
+	}
+	if len(refEvents) == 0 {
+		return res, fmt.Errorf("streaming run emitted no events; the checks are vacuous")
+	}
+
+	// Latency bound and ground-truth lag over the reference events.
+	finalSeq := feeder.Rounds() - 1
+	var lagSum float64
+	for _, ev := range refEvents {
+		if ev.EmitSeq != finalSeq {
+			res.EarlyEvents++
+			base := ev.FirstSeenSeq
+			if ev.EligibleSeq > base {
+				base = ev.EligibleSeq
+			}
+			if lat := ev.EmitSeq - base; lat > res.MaxLatencyRounds {
+				res.MaxLatencyRounds = lat
+			}
+		}
+		if onset, ok := truthOnset(world[ev.Block], ev.Change); ok {
+			res.TruthMatched++
+			frontier := start + (ev.EmitSeq+1)*netsim.SecondsPerDay
+			lagSum += float64(frontier-onset) / float64(netsim.SecondsPerDay)
+		}
+	}
+	if res.TruthMatched > 0 {
+		res.MeanLagDays = lagSum / float64(res.TruthMatched)
+	}
+	if res.MaxLatencyRounds > res.LatencyBoundRounds {
+		return res, fmt.Errorf("emit latency %d rounds exceeds the bound %d", res.MaxLatencyRounds, res.LatencyBoundRounds)
+	}
+
+	// The killed run: SIGKILL (Abort) at seeded-random points until the
+	// stream completes; every incarnation must resume to a journal that is
+	// an exact prefix of the reference, and the final state must be
+	// identical.
+	rng := rand.New(rand.NewSource(int64(opts.seed())))
+	dir := tmp + "/killed"
+	total := feeder.Rounds()
+	for {
+		d, err := stream.Open(dir, world, feeder.Observers(), cfg)
+		if err != nil {
+			return res, fmt.Errorf("incarnation %d: %w", res.Incarnations, err)
+		}
+		d.Start()
+		res.Incarnations++
+		evs := d.Events()
+		if len(evs) > len(refEvents) {
+			return res, fmt.Errorf("incarnation %d resumed with %d events; reference has %d", res.Incarnations, len(evs), len(refEvents))
+		}
+		for i := range evs {
+			if evs[i] != refEvents[i] {
+				return res, fmt.Errorf("incarnation %d: journaled event %d diverges from the uninterrupted run", res.Incarnations, i)
+			}
+		}
+		next := d.NextIngestSeq()
+		if next >= total {
+			if err := d.Drain(opts.ctx()); err != nil {
+				return res, err
+			}
+			final, err := d.Result()
+			if err != nil {
+				return res, err
+			}
+			fp, err := final.Fingerprint()
+			if err != nil {
+				return res, err
+			}
+			evs = d.Events()
+			if err := d.Close(); err != nil {
+				return res, err
+			}
+			res.Identical = fp == refFP && len(evs) == len(refEvents)
+			for i := range evs {
+				if evs[i] != refEvents[i] {
+					res.Identical = false
+				}
+			}
+			if !res.Identical {
+				return res, fmt.Errorf("killed run diverged from the uninterrupted run:\n%s", res)
+			}
+			if res.Incarnations < 2 {
+				return res, fmt.Errorf("the kill schedule never fired; kill-and-resume was not exercised")
+			}
+			return res, nil
+		}
+		target := next + 1 + rng.Int63n(total-next)
+		for seq := next; seq < target; seq++ {
+			r, err := feeder.Round(seq)
+			if err != nil {
+				return res, err
+			}
+			if err := d.Ingest(opts.ctx(), r); err != nil {
+				return res, fmt.Errorf("incarnation %d: ingest round %d: %w", res.Incarnations, seq, err)
+			}
+		}
+		if rng.Intn(2) == 0 {
+			if err := d.Drain(opts.ctx()); err != nil {
+				return res, err
+			}
+		}
+		d.Abort() // SIGKILL: nothing flushed, nothing drained
+	}
+}
+
+// streamToEnd runs one uninterrupted daemon life over the whole feeder.
+func streamToEnd(ctx context.Context, dir string, world []*dataset.WorldBlock, f *stream.Feeder, cfg stream.Config) ([]stream.Event, string, error) {
+	d, err := stream.Open(dir, world, f.Observers(), cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	d.Start()
+	if err := f.Feed(ctx, d); err != nil {
+		d.Close()
+		return nil, "", err
+	}
+	if err := d.Drain(ctx); err != nil {
+		d.Close()
+		return nil, "", err
+	}
+	res, err := d.Result()
+	if err != nil {
+		d.Close()
+		return nil, "", err
+	}
+	fp, err := res.Fingerprint()
+	if err != nil {
+		d.Close()
+		return nil, "", err
+	}
+	evs := d.Events()
+	return evs, fp, d.Close()
+}
+
+// truthOnset matches an emitted change to the block's scheduled simulator
+// events: a down change to an activity-suppressing event start (or an
+// outage start), an up change to a recovery. Returns the true onset time.
+func truthOnset(wb *dataset.WorldBlock, ch core.Change) (int64, bool) {
+	slop := int64(events.MatchWindowDays) * netsim.SecondsPerDay
+	for _, ev := range wb.Events() {
+		var onset int64
+		switch {
+		case ch.Dir < 0:
+			onset = ev.Start
+		case ev.End != 0:
+			onset = ev.End
+		default:
+			continue
+		}
+		if ch.Point >= onset-slop && ch.Point <= onset+slop {
+			return onset, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStreaming exercises the streaming-daemon acceptance contract at
+// reduced scale. Streaming itself errors on any contract breach (batch
+// divergence, non-prefix resume, final divergence, latency bound blown,
+// kill schedule never fired, vacuous run), so a nil error plus the
+// verdict fields is the whole acceptance check.
+func TestStreaming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a batch analysis plus two full streaming runs")
+	}
+	res, err := Streaming(Options{Blocks: 24})
+	if err != nil {
+		t.Fatalf("streaming contract broken: %v", err)
+	}
+	if !res.BatchIdentical || !res.Identical {
+		t.Fatalf("streaming results diverged:\n%s", res)
+	}
+	if res.Incarnations < 2 {
+		t.Fatalf("kill-and-resume was never exercised:\n%s", res)
+	}
+	if res.Events == 0 {
+		t.Fatalf("no events emitted; the run is vacuous:\n%s", res)
+	}
+	if res.MaxLatencyRounds > res.LatencyBoundRounds {
+		t.Fatalf("latency bound violated:\n%s", res)
+	}
+	if !strings.Contains(res.String(), "OK") {
+		t.Fatalf("report does not state the verdict:\n%s", res)
+	}
+}

@@ -1,0 +1,78 @@
+package faults
+
+// Clock models a machine whose wall clock is wrong: a constant offset, a
+// rate error (broken NTP slewing), and scheduled step changes (an NTP slam
+// or a VM migration). It implements health.Clock, so anything that takes
+// one — the shard lease ledger, the pipeline watchdog, the stream daemon —
+// can be run against a skewed view of time while the rest of the test
+// drives a shared base clock. This is the wall-time counterpart of
+// ClockSkew, which skews record timestamps inside the data plane.
+
+import (
+	"sync"
+	"time"
+
+	"github.com/diurnalnet/diurnal/internal/health"
+)
+
+// Jump is a step change in a skewed clock's wall time, applied once the
+// base clock has run After past the clock's first use.
+type Jump struct {
+	After time.Duration
+	Delta time.Duration
+}
+
+// Clock is a skewed health.Clock. The zero value reads the system clock
+// unskewed; set the fields before first use and do not change them after.
+type Clock struct {
+	// Base supplies real time (default health.System; tests use
+	// health.Fake so skew scenarios are deterministic).
+	Base health.Clock
+	// Offset is added to every reading.
+	Offset time.Duration
+	// Drift is the rate error in seconds gained per base second (1e-4 ≈
+	// 8.6 s/day fast; negative runs slow). It accrues from first use.
+	Drift float64
+	// Jumps are step changes applied in addition to Offset and Drift.
+	Jumps []Jump
+
+	mu       sync.Mutex
+	anchor   time.Time
+	anchored bool
+}
+
+func (c *Clock) base() health.Clock {
+	if c.Base != nil {
+		return c.Base
+	}
+	return health.System
+}
+
+// Now returns the skewed wall time.
+func (c *Clock) Now() time.Time {
+	now := c.base().Now()
+	c.mu.Lock()
+	if !c.anchored {
+		c.anchor, c.anchored = now, true
+	}
+	elapsed := now.Sub(c.anchor)
+	c.mu.Unlock()
+	skew := c.Offset + time.Duration(float64(elapsed)*c.Drift)
+	for _, j := range c.Jumps {
+		if elapsed >= j.After {
+			skew += j.Delta
+		}
+	}
+	return now.Add(skew)
+}
+
+// After returns a timer channel. Like real timers, it runs on the
+// monotonic clock: wall offset and jumps do not move in-flight timers,
+// but a rate error does — a fast clock's d-second timer fires after only
+// d/(1+Drift) base seconds.
+func (c *Clock) After(d time.Duration) <-chan time.Time {
+	if c.Drift != 0 && d > 0 {
+		d = time.Duration(float64(d) / (1 + c.Drift))
+	}
+	return c.base().After(d)
+}

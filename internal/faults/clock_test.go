@@ -1,0 +1,58 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"github.com/diurnalnet/diurnal/internal/health"
+)
+
+func TestClockOffsetDriftJumps(t *testing.T) {
+	base := health.NewFake()
+	c := &Clock{
+		Base:   base,
+		Offset: 5 * time.Second,
+		Drift:  0.1, // 10% fast
+		Jumps:  []Jump{{After: 100 * time.Second, Delta: -30 * time.Second}},
+	}
+	t0 := c.Now() // anchors drift accrual
+	if got, want := t0.Sub(base.Now()), 5*time.Second; got != want {
+		t.Fatalf("initial skew %v, want %v", got, want)
+	}
+	base.Advance(50 * time.Second)
+	if got, want := c.Now().Sub(base.Now()), 5*time.Second+5*time.Second; got != want {
+		t.Errorf("skew after 50s %v, want %v (offset + 10%% drift)", got, want)
+	}
+	base.Advance(50 * time.Second) // total elapsed 100s: jump applies
+	if got, want := c.Now().Sub(base.Now()), 15*time.Second-30*time.Second; got != want {
+		t.Errorf("skew after jump %v, want %v", got, want)
+	}
+}
+
+func TestClockZeroValueIsUnskewed(t *testing.T) {
+	var c Clock
+	d := time.Since(c.Now())
+	if d < -time.Second || d > time.Second {
+		t.Errorf("zero-value clock far from system time: %v", d)
+	}
+}
+
+// TestClockAfterDriftScaling: a fast clock's timers fire early in base
+// time, a slow clock's late; offset and jumps leave timers alone.
+func TestClockAfterDriftScaling(t *testing.T) {
+	base := health.NewFake()
+	fast := &Clock{Base: base, Drift: 1.0, Offset: time.Hour} // 2x speed
+	ch := fast.After(10 * time.Second)
+	base.Advance(4 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired too early")
+	default:
+	}
+	base.Advance(1 * time.Second) // 5 base seconds = 10 fast seconds
+	select {
+	case <-ch:
+	default:
+		t.Fatal("timer did not fire at scaled deadline")
+	}
+}

@@ -1,0 +1,167 @@
+package shard
+
+// Lease correctness under clock skew. Lease expiry is compared against
+// wall clocks that different workers read independently, so a worker with
+// broken NTP is the realistic threat: a skewed-but-renewing worker must
+// never be fenced out from under its live lease, a crashed worker's lease
+// must expire on schedule no matter how skewed the writer was, and a
+// worker whose clock steps backward must discover its self-inflicted
+// fencing through Check instead of journaling blindly.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/diurnalnet/diurnal/internal/core"
+	"github.com/diurnalnet/diurnal/internal/faults"
+	"github.com/diurnalnet/diurnal/internal/health"
+)
+
+const skewTTL = 30 * time.Second
+
+// skewLedger opens a second handle on an existing ledger directory with
+// its own (skewed) clock, modeling a different machine.
+func skewLedger(t *testing.T, dir string, sig []byte, clock health.Clock) *Ledger {
+	t.Helper()
+	l, err := Open(dir, sig, Options{TTL: skewTTL, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestSkewedWorkerNeverWronglyFenced: a worker whose clock is off by a
+// constant offset and a rate error, but which renews on schedule, holds
+// its lease indefinitely against a true-clocked rival.
+func TestSkewedWorkerNeverWronglyFenced(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		offset time.Duration
+		drift  float64
+	}{
+		{"slow", -skewTTL / 3, 0},
+		{"fast", skewTTL / 3, 0},
+		{"slow-drifting", -5 * time.Second, -1e-3},
+		{"fast-drifting", 5 * time.Second, 1e-3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			sig := []byte("skew-test")
+			base := health.NewFake()
+			truth, err := Create(dir, sig, 4, 2, Options{TTL: skewTTL, Clock: base})
+			if err != nil {
+				t.Fatal(err)
+			}
+			skewed := skewLedger(t, dir, sig, &faults.Clock{Base: base, Offset: tc.offset, Drift: tc.drift})
+			claim, err := skewed.tryClaim(skewed.man.Shards[0], "skewed")
+			if err != nil || claim == nil {
+				t.Fatalf("initial claim: %v, %v", claim, err)
+			}
+			// Renew at the worker's TTL/3 cadence for many cycles; the
+			// rival scans between every renewal.
+			for i := 0; i < 30; i++ {
+				base.Advance(skewTTL / 3)
+				if rival, err := truth.tryClaim(truth.man.Shards[0], "truth"); err != nil || rival != nil {
+					t.Fatalf("cycle %d: live skewed lease was claimed by rival (%v, %v)", i, rival, err)
+				}
+				if err := claim.Check(); err != nil {
+					t.Fatalf("cycle %d: live skewed worker fenced: %v", i, err)
+				}
+				if err := claim.Renew(); err != nil {
+					t.Fatalf("cycle %d: renew failed: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// TestExpiredLeaseAlwaysFenced: a crashed worker's lease expires and is
+// taken over regardless of the skew it wrote its expiry with, and the
+// ghost discovers the fencing through Check and Renew.
+func TestExpiredLeaseAlwaysFenced(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		offset time.Duration
+	}{
+		{"slow-writer", -10 * time.Second},
+		{"true-writer", 0},
+		{"fast-writer", 10 * time.Second},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			sig := []byte("skew-test")
+			base := health.NewFake()
+			truth, err := Create(dir, sig, 4, 2, Options{TTL: skewTTL, Clock: base})
+			if err != nil {
+				t.Fatal(err)
+			}
+			skewed := skewLedger(t, dir, sig, &faults.Clock{Base: base, Offset: tc.offset})
+			ghost, err := skewed.tryClaim(skewed.man.Shards[0], "ghost")
+			if err != nil || ghost == nil {
+				t.Fatalf("initial claim: %v, %v", ghost, err)
+			}
+			// The ghost wrote Expires = skewedNow + TTL, i.e. offset + TTL
+			// in true time. One second before that: no takeover.
+			base.Advance(skewTTL + tc.offset - time.Second)
+			if rival, err := truth.tryClaim(truth.man.Shards[0], "truth"); err != nil || rival != nil {
+				t.Fatalf("unexpired lease claimed early (%v, %v)", rival, err)
+			}
+			// Past the skewed expiry: the takeover must happen.
+			base.Advance(2 * time.Second)
+			rival, err := truth.tryClaim(truth.man.Shards[0], "truth")
+			if err != nil || rival == nil {
+				t.Fatalf("expired lease not claimed (%v, %v)", rival, err)
+			}
+			if rival.Token <= ghost.Token {
+				t.Fatalf("takeover token %d not above ghost token %d", rival.Token, ghost.Token)
+			}
+			if err := ghost.Check(); !errors.Is(err, core.ErrFenced) {
+				t.Errorf("ghost Check = %v, want ErrFenced", err)
+			}
+			if err := ghost.Renew(); !errors.Is(err, core.ErrFenced) {
+				t.Errorf("ghost Renew = %v, want ErrFenced", err)
+			}
+		})
+	}
+}
+
+// TestBackwardJumpSelfFences: a worker whose clock steps backward writes
+// an already-expired renewal; it loses the shard (correct — its expiry
+// promise is broken) but must learn that through Check, which is exactly
+// the journal Fence hook's consultation point.
+func TestBackwardJumpSelfFences(t *testing.T) {
+	dir := t.TempDir()
+	sig := []byte("skew-test")
+	base := health.NewFake()
+	truth, err := Create(dir, sig, 4, 2, Options{TTL: skewTTL, Clock: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jumpy := skewLedger(t, dir, sig, &faults.Clock{
+		Base:  base,
+		Jumps: []faults.Jump{{After: 15 * time.Second, Delta: -2 * time.Minute}},
+	})
+	claim, err := jumpy.tryClaim(jumpy.man.Shards[0], "jumpy")
+	if err != nil || claim == nil {
+		t.Fatalf("initial claim: %v, %v", claim, err)
+	}
+	base.Advance(10 * time.Second) // pre-jump: renewal is healthy
+	if err := claim.Renew(); err != nil {
+		t.Fatal(err)
+	}
+	if rival, err := truth.tryClaim(truth.man.Shards[0], "truth"); err != nil || rival != nil {
+		t.Fatalf("healthy lease claimed (%v, %v)", rival, err)
+	}
+	base.Advance(10 * time.Second) // jump fires: the clock is now 2 min behind
+	if err := claim.Renew(); err != nil {
+		t.Fatal(err) // renewal succeeds but writes an expiry in the past
+	}
+	rival, err := truth.tryClaim(truth.man.Shards[0], "truth")
+	if err != nil || rival == nil {
+		t.Fatalf("backdated lease not claimable (%v, %v)", rival, err)
+	}
+	if err := claim.Check(); !errors.Is(err, core.ErrFenced) {
+		t.Errorf("jumped worker Check = %v, want ErrFenced so late appends are blocked", err)
+	}
+}

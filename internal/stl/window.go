@@ -1,0 +1,96 @@
+package stl
+
+// Windowed refresh for the streaming daemon. STL is a whole-series
+// smoother: appending samples perturbs the trend near the new edge, so a
+// daemon re-decomposing a growing series cannot treat the latest trend as
+// final everywhere. Window runs the refreshes and tracks the *settled
+// prefix* — the leading samples whose trend value stopped moving between
+// consecutive refreshes — which is what an online change detector may
+// safely consume early. Settling is a heuristic (a sample quiet between
+// two refreshes can still move later, which is why the tolerance is
+// paired with a lag guard); authoritative verdicts always come from the
+// final full-window decomposition.
+
+import "fmt"
+
+// DefaultSettleLag is the guard distance held back from the settled
+// frontier: roughly the trend smoother's half-width for the pipeline's
+// weekly period, past which edge effects from appended data no longer
+// reach in practice.
+const DefaultSettleLag = 96
+
+// Window tracks successive decompositions of a growing series and the
+// prefix of the trend that has stopped moving. Not safe for concurrent
+// use.
+type Window struct {
+	// Eps is the per-sample absolute trend tolerance: a sample is quiet
+	// when its trend moved less than Eps since the previous refresh.
+	// Zero means exact equality.
+	Eps float64
+	// Lag holds the settled frontier this many samples behind the last
+	// quiet sample (negative: no guard; zero: DefaultSettleLag).
+	Lag int
+
+	ws      Workspace
+	res     Result
+	prev    []float64
+	settled int
+}
+
+// Refresh decomposes the current (grown) series and updates the settled
+// prefix. The returned Result is the Window's own and is overwritten by
+// the next Refresh; its slices must not be retained across calls.
+func (w *Window) Refresh(y []float64, opts Opts) (*Result, error) {
+	if err := w.ws.DecomposeInto(&w.res, y, opts); err != nil {
+		return nil, err
+	}
+	w.Observe(w.res.Trend)
+	return &w.res, nil
+}
+
+// Observe updates the settled prefix from an externally computed trend —
+// for callers that run the decomposition themselves (the streaming daemon
+// decomposes inside the shared analysis kernel). The trend is copied.
+func (w *Window) Observe(trend []float64) int {
+	quiet := 0
+	limit := len(trend)
+	if len(w.prev) < limit {
+		limit = len(w.prev)
+	}
+	for quiet < limit {
+		d := trend[quiet] - w.prev[quiet]
+		if d < 0 {
+			d = -d
+		}
+		if d > w.Eps {
+			break
+		}
+		quiet++
+	}
+	lag := w.Lag
+	if lag == 0 {
+		lag = DefaultSettleLag
+	} else if lag < 0 {
+		lag = 0
+	}
+	if s := quiet - lag; s > w.settled {
+		w.settled = s
+	}
+	w.prev = append(w.prev[:0], trend...)
+	return w.settled
+}
+
+// Settled returns the settled prefix length: trend samples [0, Settled)
+// are considered final. It never decreases.
+func (w *Window) Settled() int { return w.settled }
+
+// Reset clears all refresh history.
+func (w *Window) Reset() {
+	w.prev = w.prev[:0]
+	w.settled = 0
+}
+
+// String summarizes the window state for diagnostics.
+func (w *Window) String() string {
+	return fmt.Sprintf("stl.Window{settled=%d, seen=%d}", w.settled, len(w.prev))
+}

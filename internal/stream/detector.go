@@ -1,0 +1,404 @@
+package stream
+
+// The streaming detector: pure, deterministic state evolution with no
+// I/O. The daemon (and its crash/watchdog recovery) replays rounds
+// through this code; determinism here is what makes the WAL the only
+// durable state the daemon needs.
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/diurnalnet/diurnal/internal/changepoint"
+	"github.com/diurnalnet/diurnal/internal/core"
+	"github.com/diurnalnet/diurnal/internal/dataset"
+	"github.com/diurnalnet/diurnal/internal/dsp"
+	"github.com/diurnalnet/diurnal/internal/geo"
+	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/probe"
+	"github.com/diurnalnet/diurnal/internal/stl"
+)
+
+// slidingWindowHours is the sliding-DFT window: one week of hourly
+// samples, matching the weekly STL period.
+const slidingWindowHours = 7 * 24
+
+// matchSlopDays is how far two changes' points may sit apart while still
+// describing the same underlying change across refreshes.
+const matchSlopDays = 2
+
+// evidencePoint records one online-CUSUM alarm on the settled trend.
+type evidencePoint struct {
+	t   int64 // wall-clock time of the alarm sample
+	seq int64 // round seq of the refresh that fed it
+	dir changepoint.Direction
+}
+
+// candidate tracks one potential change across refreshes.
+type candidate struct {
+	change       core.Change
+	firstSeenSeq int64 // round seq starting the current presence streak
+	seenStreak   int64 // consecutive refreshes present (current streak)
+	lastRefresh  int64 // refresh counter when last present
+	eligibleSeq  int64 // round seq when the stability guard first held; -1 before
+	emitted      bool
+}
+
+// blockState is one block's streaming detector state.
+type blockState struct {
+	id    netsim.BlockID
+	place geo.Placement
+	eb    []int
+
+	acc [][]probe.Record // accumulated per-observer streams (never mutated by analysis)
+
+	sliding *dsp.SlidingDiurnal
+
+	window    stl.Window
+	online    *changepoint.Online
+	onlineFed int
+	normMean  float64
+	normStd   float64
+	frozen    bool
+	evidence  []evidencePoint
+
+	cands []*candidate
+	last  *core.BlockAnalysis
+}
+
+// detector evolves a whole world's streaming state round by round.
+type detector struct {
+	cfg       Config // defaulted + validated
+	obsCount  int
+	blocks    []*blockState
+	sc        *core.Scratch
+	copyBufs  [][]probe.Record
+	processed int64 // rounds fully processed
+	refreshes int64
+	blockErrs int64
+	nextEvent int64
+}
+
+func newDetector(cfg Config, world []*dataset.WorldBlock, obsCount int) *detector {
+	d := &detector{cfg: cfg, obsCount: obsCount, sc: core.NewScratch()}
+	bins := dsp.DiurnalBins(slidingWindowHours, 3600, float64(netsim.SecondsPerDay), 3)
+	for _, wb := range world {
+		bs := &blockState{
+			id:      wb.ID,
+			place:   wb.Place,
+			eb:      wb.EverActive(),
+			acc:     make([][]probe.Record, obsCount),
+			sliding: dsp.NewSlidingDiurnal(slidingWindowHours, bins, 0),
+		}
+		bs.window.Eps = cfg.TrendEps
+		bs.window.Lag = cfg.SettleLag
+		d.blocks = append(d.blocks, bs)
+	}
+	return d
+}
+
+// validateRound checks a round's shape against the stream position.
+func (d *detector) validateRound(r *Round) error {
+	if r.Seq != d.processed {
+		return fmt.Errorf("stream: round seq %d, expected %d (rounds are ingested strictly in order)", r.Seq, d.processed)
+	}
+	start, end := d.cfg.roundWindow(r.Seq)
+	if r.Start != start || r.End != end {
+		return fmt.Errorf("stream: round %d window [%d,%d), expected [%d,%d)", r.Seq, r.Start, r.End, start, end)
+	}
+	if len(r.Blocks) != len(d.blocks) {
+		return fmt.Errorf("stream: round %d covers %d blocks, world has %d", r.Seq, len(r.Blocks), len(d.blocks))
+	}
+	for b, perObs := range r.Blocks {
+		if len(perObs) != d.obsCount {
+			return fmt.Errorf("stream: round %d block %d has %d observer streams, expected %d", r.Seq, b, len(perObs), d.obsCount)
+		}
+	}
+	return nil
+}
+
+// ingest processes one round: accumulate records, advance the sliding
+// diurnal scores, and — when a refresh is due — run the shared analysis
+// kernel and the emission logic. Returned events are in emission order
+// with their sequence numbers assigned; journaling them is the caller's
+// job. The round's record slices are retained.
+func (d *detector) ingest(r *Round) ([]Event, error) {
+	if err := d.validateRound(r); err != nil {
+		return nil, err
+	}
+	for b, perObs := range r.Blocks {
+		bs := d.blocks[b]
+		for o, recs := range perObs {
+			bs.acc[o] = append(bs.acc[o], recs...)
+		}
+		bs.pushHours(r.Start, r.End, perObs)
+	}
+	d.processed++
+	var events []Event
+	final := d.processed == d.cfg.rounds()
+	if final || d.processed%int64(d.cfg.RefreshEvery) == 0 {
+		evs, err := d.refresh(r.End, r.Seq, final)
+		if err != nil {
+			return nil, err
+		}
+		events = evs
+	}
+	return events, nil
+}
+
+// pushHours feeds the block's hourly distinct-responder counts — a cheap
+// incremental proxy for the active-address series — into the sliding DFT,
+// one pass over the round's records.
+func (bs *blockState) pushHours(start, end int64, perObs [][]probe.Record) {
+	hours := int((end - start) / 3600)
+	if hours <= 0 {
+		return
+	}
+	counts := make([]int16, hours)
+	seen := make([]map[uint8]bool, hours)
+	for _, recs := range perObs {
+		for _, rec := range recs {
+			if !rec.Up || rec.T < start || rec.T >= end {
+				continue
+			}
+			h := int((rec.T - start) / 3600)
+			if seen[h] == nil {
+				seen[h] = make(map[uint8]bool, 8)
+			}
+			if !seen[h][rec.Addr] {
+				seen[h][rec.Addr] = true
+				counts[h]++
+			}
+		}
+	}
+	for _, c := range counts {
+		bs.sliding.Push(float64(c))
+	}
+}
+
+// refresh runs the shared analysis kernel over every block's accumulated
+// streams and applies the candidate-tracking and emission rules.
+func (d *detector) refresh(frontier, seq int64, final bool) ([]Event, error) {
+	c := d.cfg.Core
+	// Gate: classification needs the full baseline and STL needs two
+	// weekly periods; refreshing earlier would classify on garbage.
+	if !final {
+		if c.BaselineEnd != 0 && frontier < c.BaselineEnd {
+			return nil, nil
+		}
+		if frontier-c.AnalysisStart < 2*7*netsim.SecondsPerDay {
+			return nil, nil
+		}
+	}
+	d.refreshes++
+	var events []Event
+	for b, bs := range d.blocks {
+		analysis, err := d.analyzeBlock(bs)
+		if err != nil {
+			d.blockErrs++
+			continue
+		}
+		bs.last = analysis
+		d.observeEvidence(bs, analysis, seq)
+		d.trackCandidates(bs, analysis, seq)
+		events = append(events, d.emit(b, bs, frontier, seq, final)...)
+	}
+	return events, nil
+}
+
+// analyzeBlock runs the batch kernel over a copy of the accumulated
+// streams. The copy matters: the kernel sanitizes and repairs in place,
+// and those edits are functions of the data seen *so far* — letting them
+// leak into the accumulator would make later refreshes diverge from what
+// a batch run over the full window computes.
+func (d *detector) analyzeBlock(bs *blockState) (*core.BlockAnalysis, error) {
+	for len(d.copyBufs) < len(bs.acc) {
+		d.copyBufs = append(d.copyBufs, nil)
+	}
+	bufs := d.copyBufs[:len(bs.acc)]
+	for i, stream := range bs.acc {
+		bufs[i] = append(bufs[i][:0], stream...)
+	}
+	return d.cfg.Core.AnalyzeCollectedScratch(bufs, bs.eb, d.sc)
+}
+
+// observeEvidence advances the settled-prefix online CUSUM: trend samples
+// that have stopped moving between refreshes are normalized against the
+// frozen baseline statistics and fed to the incremental detector, whose
+// alarms timestamp when streaming evidence for a change first sufficed.
+func (d *detector) observeEvidence(bs *blockState, a *core.BlockAnalysis, seq int64) {
+	if a.Trend == nil {
+		return
+	}
+	settled := bs.window.Observe(a.Trend)
+	if !bs.frozen {
+		// Freeze normalization on the first refresh (which the refresh
+		// gate already holds past the baseline window): the batch z-score
+		// over a growing window is a moving target, so the online
+		// detector normalizes against fixed baseline statistics instead.
+		n := int((d.cfg.Core.BaselineEnd - d.cfg.Core.AnalysisStart) / d.cfg.Core.SampleStep)
+		if n <= 0 || n > len(a.Trend) {
+			n = len(a.Trend)
+		}
+		var sum, sumsq float64
+		for _, v := range a.Trend[:n] {
+			sum += v
+			sumsq += v * v
+		}
+		mean := sum / float64(n)
+		variance := sumsq/float64(n) - mean*mean
+		std := 1.0
+		if variance > 0 {
+			// No lower bound: a flat baseline makes any move significant,
+			// which is what the batch z-score does too.
+			std = math.Sqrt(variance)
+		}
+		bs.normMean, bs.normStd, bs.frozen = mean, std, true
+		o, err := changepoint.NewOnline(d.cfg.Core.CUSUM)
+		if err == nil {
+			bs.online = o
+		}
+	}
+	if bs.online == nil {
+		return
+	}
+	for i := bs.onlineFed; i < settled && i < len(a.Trend); i++ {
+		if bs.online.Update((a.Trend[i] - bs.normMean) / bs.normStd) {
+			cs := bs.online.Changes()
+			last := cs[len(cs)-1]
+			bs.evidence = append(bs.evidence, evidencePoint{
+				t:   d.cfg.Core.AnalysisStart + int64(last.Alarm)*d.cfg.Core.SampleStep,
+				seq: seq,
+				dir: last.Dir,
+			})
+		}
+		bs.onlineFed = i + 1
+	}
+}
+
+// trackCandidates matches this refresh's full-window detections against
+// the tracked candidates. A candidate absent from a refresh has its
+// presence streak reset: the confirmation clock restarts, which is what
+// makes the emission latency bound provable.
+func (d *detector) trackCandidates(bs *blockState, a *core.BlockAnalysis, seq int64) {
+	slop := int64(matchSlopDays) * netsim.SecondsPerDay
+	for _, ch := range a.Changes {
+		var found *candidate
+		for _, cand := range bs.cands {
+			if cand.change.Dir == ch.Dir && abs64(cand.change.Point-ch.Point) <= slop {
+				found = cand
+				break
+			}
+		}
+		if found == nil {
+			found = &candidate{firstSeenSeq: seq, eligibleSeq: -1}
+			bs.cands = append(bs.cands, found)
+		}
+		if found.lastRefresh != d.refreshes-1 || found.seenStreak == 0 {
+			// Streak broken (or new): restart the confirmation clock.
+			found.firstSeenSeq = seq
+			found.seenStreak = 0
+		}
+		found.change = ch
+		found.seenStreak++
+		found.lastRefresh = d.refreshes
+	}
+}
+
+// emit applies the emission rule to every tracked candidate of one block.
+//
+// A candidate is emitted at the first refresh where it (a) is present in
+// the current full-window detection, (b) has been present for
+// ConfirmRefreshes consecutive refreshes, and (c) is *stable*: the data
+// frontier is past every horizon that could still retract it — the
+// outage-pair window past its alarm (a later recovery would pair-filter
+// it away) and the boundary guard past its end (it can no longer be an
+// STL edge artifact). The final refresh flushes every candidate present
+// in the final analysis, so the emitted set converges exactly to the
+// batch verdict.
+func (d *detector) emit(b int, bs *blockState, frontier, seq int64, final bool) []Event {
+	day := int64(netsim.SecondsPerDay)
+	var out []Event
+	for _, cand := range bs.cands {
+		if cand.emitted {
+			continue
+		}
+		present := cand.lastRefresh == d.refreshes
+		if !present {
+			continue
+		}
+		horizon := cand.change.End
+		if h := cand.change.Alarm + int64(d.cfg.Core.OutageGapDays)*day; h > horizon {
+			horizon = h
+		}
+		horizon += int64(d.cfg.Core.BoundaryGuardDays+1) * day
+		if cand.eligibleSeq < 0 && frontier >= horizon {
+			cand.eligibleSeq = seq
+		}
+		confirmed := cand.seenStreak >= int64(d.cfg.ConfirmRefreshes)
+		if !final && (!confirmed || cand.eligibleSeq < 0) {
+			continue
+		}
+		if cand.eligibleSeq < 0 {
+			cand.eligibleSeq = seq
+		}
+		cand.emitted = true
+		ev := Event{
+			Seq:          d.nextEvent,
+			Block:        b,
+			ID:           bs.id,
+			Change:       cand.change,
+			FirstSeenSeq: cand.firstSeenSeq,
+			EligibleSeq:  cand.eligibleSeq,
+			EmitSeq:      seq,
+			EvidenceSeq:  matchEvidence(bs.evidence, cand.change),
+		}
+		d.nextEvent++
+		out = append(out, ev)
+	}
+	return out
+}
+
+// matchEvidence finds the earliest online-CUSUM alarm attributable to the
+// change: same direction, alarm time within the change's span plus a
+// day of trend smearing on each side. Returns -1 when streaming evidence
+// never fired (edge-of-window changes settle only at the final refresh).
+func matchEvidence(evidence []evidencePoint, ch core.Change) int64 {
+	day := int64(netsim.SecondsPerDay)
+	for _, ep := range evidence {
+		if ep.dir == ch.Dir && ep.t >= ch.Start-day && ep.t <= ch.End+day {
+			return ep.seq
+		}
+	}
+	return -1
+}
+
+// result assembles a WorldResult from the final refresh's analyses,
+// aggregated exactly as the batch pipeline aggregates.
+func (d *detector) result() (*core.WorldResult, error) {
+	if d.processed != d.cfg.rounds() {
+		return nil, fmt.Errorf("stream: %d of %d rounds processed; the stream is not complete", d.processed, d.cfg.rounds())
+	}
+	wr := &core.WorldResult{Report: &core.RunReport{}}
+	for _, bs := range d.blocks {
+		wr.Blocks = append(wr.Blocks, core.BlockOutcome{ID: bs.id, Place: bs.place, Analysis: bs.last})
+	}
+	wr.Reaggregate()
+	return wr, nil
+}
+
+// scores snapshots every block's sliding diurnal score.
+func (d *detector) scores() []float64 {
+	out := make([]float64, len(d.blocks))
+	for i, bs := range d.blocks {
+		out[i] = bs.sliding.Score()
+	}
+	return out
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

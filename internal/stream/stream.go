@@ -1,0 +1,194 @@
+// Package stream turns the batch analysis pipeline into a long-running
+// service: a daemon that ingests probe rounds incrementally, maintains
+// per-block sliding-DFT diurnal scores and online CUSUM evidence, and
+// emits change events with bounded latency instead of rediscovering the
+// quarter retrospectively.
+//
+// Robustness is the design center. Every ingested round lands in a
+// durable CRC-framed WAL (the same record envelope as the checkpoint
+// journal) before it is admitted; every emitted event carries a monotonic
+// sequence number and is journaled before delivery; and the daemon's only
+// recovery mechanism — for SIGKILL, for a wedged analysis loop restarted
+// by the watchdog, for plain restarts — is deterministic replay of the
+// round WAL, which reconstructs the exact detector state and regenerates
+// the exact event sequence. Replayed events must match the journaled
+// prefix byte for byte (a mismatch means a foreign or corrupt WAL and
+// fails loudly); events the crash cut off are re-derived and appended.
+// The result is an exactly-once event log: consumers resume from their
+// last sequence number with no duplicates and no gaps.
+//
+// Analysis itself is shared with the batch driver: each refresh feeds the
+// accumulated per-observer streams through core.AnalyzeCollectedScratch,
+// the one kernel both drivers use, so a streaming run that has seen a
+// block's full window produces bit-identical results to a batch run of
+// the same world.
+package stream
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/diurnalnet/diurnal/internal/core"
+	"github.com/diurnalnet/diurnal/internal/health"
+	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/probe"
+)
+
+// Config parameterizes a streaming daemon. Zero fields take defaults.
+type Config struct {
+	// Core is the shared analysis configuration; AnalysisStart/End bound
+	// the stream and BaselineEnd gates the first refresh (classification
+	// needs a complete baseline).
+	Core core.Config
+	// RoundLen is the seconds of data one ingested round covers (default
+	// one day). It must be a multiple of 3600 so rounds tile the hourly
+	// sliding-score grid.
+	RoundLen int64
+	// RefreshEvery runs a full trend refresh every N rounds (default 1:
+	// every round). Refreshes are where candidates are found, confirmed,
+	// and emitted, so this is the latency quantum.
+	RefreshEvery int
+	// ConfirmRefreshes is how many consecutive refreshes a candidate must
+	// survive before emission (default 2). Together with RefreshEvery it
+	// bounds detection latency: an event is emitted at most
+	// ConfirmRefreshes*RefreshEvery rounds after it is first seen and
+	// eligible.
+	ConfirmRefreshes int
+	// MaxQueue bounds rounds admitted but not yet processed (default 64).
+	// Ingest blocks — bounded admission, not unbounded buffering — when
+	// the analysis loop falls this far behind.
+	MaxQueue int
+	// TrendEps is the per-sample settle tolerance for the windowed STL
+	// refresh (default 0.05 addresses).
+	TrendEps float64
+	// SettleLag overrides the settled-frontier guard distance in samples
+	// (0: stl.DefaultSettleLag; negative: no guard).
+	SettleLag int
+	// Watchdog, when positive, bounds how long the analysis loop may go
+	// without completing a step before it is declared wedged and
+	// restarted from the WAL (state rebuild is the same deterministic
+	// replay as crash recovery). Zero disables the watchdog.
+	Watchdog time.Duration
+	// Clock injects time for the watchdog (default wall clock).
+	Clock health.Clock
+	// OnEvent, when non-nil, is invoked for every event after it is
+	// journaled, in sequence order — the live delivery tail. Replay after
+	// a restart does not re-deliver journaled events.
+	OnEvent func(Event)
+}
+
+func (c Config) withDefaults() Config {
+	if c.RoundLen == 0 {
+		c.RoundLen = netsim.SecondsPerDay
+	}
+	if c.RefreshEvery == 0 {
+		c.RefreshEvery = 1
+	}
+	if c.ConfirmRefreshes == 0 {
+		c.ConfirmRefreshes = 2
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.TrendEps == 0 {
+		c.TrendEps = 0.05
+	}
+	if c.Clock == nil {
+		c.Clock = health.System
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.RoundLen <= 0 || c.RoundLen%3600 != 0 {
+		return fmt.Errorf("stream: round length %d must be a positive multiple of 3600", c.RoundLen)
+	}
+	if c.RefreshEvery < 1 {
+		return fmt.Errorf("stream: refresh every %d rounds", c.RefreshEvery)
+	}
+	if c.ConfirmRefreshes < 1 {
+		return fmt.Errorf("stream: confirm refreshes %d", c.ConfirmRefreshes)
+	}
+	if c.MaxQueue < 1 {
+		return fmt.Errorf("stream: max queue %d", c.MaxQueue)
+	}
+	return nil
+}
+
+// rounds returns how many rounds tile the analysis window.
+func (c Config) rounds() int64 {
+	span := c.Core.AnalysisEnd - c.Core.AnalysisStart
+	return (span + c.RoundLen - 1) / c.RoundLen
+}
+
+// roundWindow returns the wall-clock window of round seq.
+func (c Config) roundWindow(seq int64) (start, end int64) {
+	start = c.Core.AnalysisStart + seq*c.RoundLen
+	end = start + c.RoundLen
+	if end > c.Core.AnalysisEnd {
+		end = c.Core.AnalysisEnd
+	}
+	return start, end
+}
+
+// Round is one ingestion unit: every block's per-observer records for one
+// wall-clock slice of the analysis window. Rounds are ingested strictly
+// in sequence.
+type Round struct {
+	// Seq is the round's position in the stream, starting at 0.
+	Seq int64
+	// Start and End bound the records' timestamps: [Start, End).
+	Start, End int64
+	// Blocks holds, per world block, per observer, the records observed
+	// in the window, in time order.
+	Blocks [][][]probe.Record
+}
+
+// Event is one detected change, emitted exactly once with a monotonic
+// sequence number.
+type Event struct {
+	// Seq is the event's position in the journaled event log, starting
+	// at 0 with no gaps.
+	Seq int64
+	// Block is the block's index in the world; ID its netsim identity.
+	Block int
+	ID    netsim.BlockID
+	// Change is the detected change as of the emitting refresh.
+	Change core.Change
+	// FirstSeenSeq is the round sequence of the refresh that first
+	// surfaced the candidate; EligibleSeq the round at which the
+	// stability guard (boundary + outage-pair horizons past the change)
+	// was satisfied; EmitSeq the round whose refresh emitted it. The
+	// bounded-latency contract is
+	//
+	//	EmitSeq - max(FirstSeenSeq, EligibleSeq) <= ConfirmRefreshes*RefreshEvery
+	FirstSeenSeq, EligibleSeq, EmitSeq int64
+	// EvidenceSeq is the round at which the online CUSUM over the settled
+	// trend prefix first alarmed for this change, or -1 when the change
+	// was surfaced by the full-window detector alone (evidence near the
+	// window edge settles only at the final refresh).
+	EvidenceSeq int64
+}
+
+// Stats is a point-in-time snapshot of daemon health.
+type Stats struct {
+	// IngestedRounds and ProcessedRounds count WAL-durable and
+	// analysis-complete rounds; the difference is the queue depth.
+	IngestedRounds, ProcessedRounds int64
+	// Refreshes counts trend refreshes run (across restarts, replayed
+	// refreshes included).
+	Refreshes int64
+	// Events is the journaled event count.
+	Events int64
+	// Restarts counts watchdog-triggered analysis-loop rebuilds.
+	Restarts int64
+	// MaxQueueDepth is the high-water mark of admitted-but-unprocessed
+	// rounds since open.
+	MaxQueueDepth int
+	// BlockErrors counts per-block refresh failures (the block is skipped
+	// for that refresh, not the stream).
+	BlockErrors int64
+	// DiurnalScores holds each block's current sliding-DFT diurnal score
+	// (zero until the block's hourly window fills).
+	DiurnalScores []float64
+}
