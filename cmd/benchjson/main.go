@@ -6,8 +6,9 @@
 //	go test -bench=. -benchmem ./... | benchjson -o BENCH.json
 //
 // Each benchmark line becomes an object with the name (GOMAXPROCS suffix
-// stripped), iteration count, ns/op, and — when -benchmem was given —
-// B/op and allocs/op.
+// stripped), iteration count, ns/op, B/op and allocs/op when -benchmem was
+// given, and any custom b.ReportMetric units (e.g. the serve load
+// harness's p50-ms/p99-ms) under "extra".
 package main
 
 import (
@@ -18,21 +19,61 @@ import (
 	"os"
 	"regexp"
 	"strconv"
+	"strings"
 )
 
 // Result is one parsed benchmark line.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
-// benchLine matches e.g.
-//
-//	BenchmarkPeriodogram-8   1234   987.6 ns/op   120 B/op   3 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// benchName matches the line prefix, e.g. "BenchmarkPeriodogram-8   1234".
+var benchName = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// parseLine parses one benchmark line: after the name and iteration count
+// the rest is (value, unit) pairs — ns/op, optional -benchmem columns,
+// and any custom ReportMetric units.
+func parseLine(line string) (Result, bool) {
+	m := benchName.FindStringSubmatch(line)
+	if m == nil {
+		return Result{}, false
+	}
+	iters, _ := strconv.ParseInt(m[2], 10, 64)
+	r := Result{Name: m[1], Iterations: iters}
+	fields := strings.Fields(m[3])
+	sawNs := false
+	for i := 0; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+			sawNs = true
+		case "B/op":
+			b := int64(val)
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := int64(val)
+			r.AllocsPerOp = &a
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[unit] = val
+		}
+	}
+	if !sawNs {
+		return Result{}, false
+	}
+	return r, true
+}
 
 func main() {
 	out := flag.String("o", "", "write the JSON summary to this file (default stdout only)")
@@ -44,22 +85,9 @@ func main() {
 	for scanner.Scan() {
 		line := scanner.Text()
 		fmt.Println(line)
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
+		if r, ok := parseLine(line); ok {
+			results = append(results, r)
 		}
-		iters, _ := strconv.ParseInt(m[2], 10, 64)
-		ns, _ := strconv.ParseFloat(m[3], 64)
-		r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
-		if m[4] != "" {
-			b, _ := strconv.ParseInt(m[4], 10, 64)
-			r.BytesPerOp = &b
-		}
-		if m[5] != "" {
-			a, _ := strconv.ParseInt(m[5], 10, 64)
-			r.AllocsPerOp = &a
-		}
-		results = append(results, r)
 	}
 	if err := scanner.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

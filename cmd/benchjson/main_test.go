@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkPeriodogram-8   1234   987.6 ns/op   120 B/op   3 allocs/op")
+	if !ok {
+		t.Fatal("benchmem line not parsed")
+	}
+	if r.Name != "BenchmarkPeriodogram" || r.Iterations != 1234 || r.NsPerOp != 987.6 {
+		t.Errorf("parsed %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 120 || r.AllocsPerOp == nil || *r.AllocsPerOp != 3 {
+		t.Errorf("benchmem columns: %+v", r)
+	}
+
+	r, ok = parseLine("BenchmarkServeOverload-8   1  52034062 ns/op  0.42 p50-ms  3.10 p99-ms  137 shed  0 B/op  0 allocs/op")
+	if !ok {
+		t.Fatal("custom-metric line not parsed")
+	}
+	if r.Extra["p50-ms"] != 0.42 || r.Extra["p99-ms"] != 3.10 || r.Extra["shed"] != 137 {
+		t.Errorf("custom metrics: %+v", r.Extra)
+	}
+
+	if _, ok := parseLine("PASS"); ok {
+		t.Error("non-benchmark line parsed")
+	}
+	if _, ok := parseLine("BenchmarkX-8  12  garbage ns/op"); ok {
+		t.Error("garbage value parsed")
+	}
+}

@@ -35,6 +35,11 @@ type cliFlags struct {
 	maxQueue     int
 	watchdog     time.Duration
 
+	serveAddr   string
+	snapshotDir string
+	inflight    int
+	reqTimeout  time.Duration
+
 	set map[string]bool
 }
 
@@ -109,6 +114,28 @@ func (f *cliFlags) validate() error {
 	}
 	if f.set["lease"] && f.lease <= 0 {
 		return fmt.Errorf("-lease must be positive (got %s)", f.lease)
+	}
+	if f.serveAddr != "" {
+		if f.snapshotDir == "" {
+			return fmt.Errorf("-serve requires -snapshot DIR: the server needs a snapshot directory to load from and quarantine into")
+		}
+		for _, name := range []string{"daemon", "worker", "merge", "verify", "resume", "save", "report", "deadletter", "breaker", "hedge", "quorum"} {
+			if f.set[name] {
+				return fmt.Errorf("-%s does not combine with -serve: the server answers from a published snapshot, not a live run", name)
+			}
+		}
+		if f.set["inflight"] && f.inflight < 1 {
+			return fmt.Errorf("-inflight must be >= 1 (got %d)", f.inflight)
+		}
+		if f.set["reqtimeout"] && f.reqTimeout <= 0 {
+			return fmt.Errorf("-reqtimeout must be positive (got %s)", f.reqTimeout)
+		}
+	} else {
+		for _, name := range []string{"snapshot", "inflight", "reqtimeout"} {
+			if f.set[name] {
+				return fmt.Errorf("-%s only applies to serving runs (use -serve ADDR)", name)
+			}
+		}
 	}
 	if f.verifyDir != "" {
 		for _, name := range []string{"worker", "merge", "shards", "resume", "deadletter", "save", "report", "daemon"} {

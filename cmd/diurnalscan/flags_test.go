@@ -102,6 +102,62 @@ func TestFlagMatrix(t *testing.T) {
 			f.verifyDir, f.daemonDir = "v", "d"
 			return f
 		}(), false},
+		{"serve with snapshot", func() *cliFlags {
+			f := base("serve", "snapshot")
+			f.serveAddr, f.snapshotDir = ":8080", "snaps"
+			return f
+		}(), true},
+		{"serve tuning flags", func() *cliFlags {
+			f := base("serve", "snapshot", "inflight", "reqtimeout")
+			f.serveAddr, f.snapshotDir = ":8080", "snaps"
+			f.inflight, f.reqTimeout = 128, 5*time.Second
+			return f
+		}(), true},
+		{"serve without snapshot", func() *cliFlags {
+			f := base("serve")
+			f.serveAddr = ":8080"
+			return f
+		}(), false},
+		{"serve with daemon", func() *cliFlags {
+			f := base("serve", "snapshot", "daemon")
+			f.serveAddr, f.snapshotDir, f.daemonDir = ":8080", "snaps", "d"
+			return f
+		}(), false},
+		{"serve with worker", func() *cliFlags {
+			f := base("serve", "snapshot", "worker")
+			f.serveAddr, f.snapshotDir, f.workerDir = ":8080", "snaps", "w"
+			return f
+		}(), false},
+		{"serve with verify", func() *cliFlags {
+			f := base("serve", "snapshot", "verify")
+			f.serveAddr, f.snapshotDir, f.verifyDir = ":8080", "snaps", "v"
+			return f
+		}(), false},
+		{"serve with resume", func() *cliFlags {
+			f := base("serve", "snapshot", "resume")
+			f.serveAddr, f.snapshotDir, f.resumePath = ":8080", "snaps", "run.ckpt"
+			return f
+		}(), false},
+		{"serve bad inflight", func() *cliFlags {
+			f := base("serve", "snapshot", "inflight")
+			f.serveAddr, f.snapshotDir, f.inflight = ":8080", "snaps", 0
+			return f
+		}(), false},
+		{"serve zero reqtimeout set", func() *cliFlags {
+			f := base("serve", "snapshot", "reqtimeout")
+			f.serveAddr, f.snapshotDir, f.reqTimeout = ":8080", "snaps", 0
+			return f
+		}(), false},
+		{"snapshot without serve", func() *cliFlags {
+			f := base("snapshot")
+			f.snapshotDir = "snaps"
+			return f
+		}(), false},
+		{"inflight without serve", func() *cliFlags {
+			f := base("inflight")
+			f.inflight = 32
+			return f
+		}(), false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -13,6 +13,7 @@
 //	            [-merge DIR]
 //	            [-daemon DIR [-roundlen DUR] [-refresh N] [-confirm N]
 //	             [-maxqueue N] [-watchdog DUR]]
+//	            [-serve ADDR -snapshot DIR [-inflight N] [-reqtimeout DUR]]
 //
 // Example: the first Covid quarter at moderate scale.
 //
@@ -55,9 +56,20 @@
 // each journaled with a contiguous sequence number before it is printed.
 // A killed daemon rerun with the same DIR and flags resumes by
 // deterministic WAL replay to the exact detector state and event
-// sequence; SIGTERM drains the admitted rounds and shuts down cleanly.
-// -watchdog DUR restarts a wedged analysis step by the same replay. The
-// final report is identical to a batch run of the same world.
+// sequence; SIGTERM drains the admitted rounds, flushes the event WAL,
+// and exits 0. -watchdog DUR restarts a wedged analysis step by the
+// same replay. The final report is identical to a batch run of the same
+// world.
+//
+// Serving: -serve ADDR publishes a finished run as a columnar snapshot
+// under -snapshot DIR (running the configured world first if the
+// directory has none) and answers result queries over HTTP with bounded
+// admission, prioritized load shedding (503 + Retry-After), a
+// stale-while-revalidate cache, and atomic snapshot hot-swaps — torn or
+// foreign-run snapshots are quarantined, never served. SIGHUP reloads
+// the newest published snapshot; SIGTERM drains in-flight requests and
+// exits 0. -inflight and -reqtimeout tune the admission pool and the
+// per-request deadline.
 //
 // Flag combinations are validated before any work starts; contradictory
 // ones (-hedge without -breaker, -worker with -merge, -daemon with
@@ -71,10 +83,14 @@
 // dead-lettered. Code 3 output is complete but should be treated as
 // lower-confidence. -merge exits 4 when the integrity audit fails: the
 // merged output is untrustworthy and the ledger should be inspected.
+// -serve exits 5 when no snapshot could be loaded or built: the server
+// has nothing to answer from, and serving bare 503s forever would look
+// healthy to a load balancer while answering nothing.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -128,6 +144,10 @@ func main() {
 	confirm := flag.Int("confirm", 2, "with -daemon: consecutive refreshes a change must survive before emission")
 	maxQueue := flag.Int("maxqueue", 64, "with -daemon: admitted-but-unprocessed round bound (ingestion blocks beyond it)")
 	watchdog := flag.Duration("watchdog", 0, "with -daemon: restart a wedged analysis step after this long (0 disables)")
+	serveAddr := flag.String("serve", "", "serve result queries over HTTP at this address (requires -snapshot DIR)")
+	snapshotDir := flag.String("snapshot", "", "with -serve: directory of columnar result snapshots (built from a run when empty)")
+	inflight := flag.Int("inflight", 0, "with -serve: bound on admitted-but-unfinished requests (default 64)")
+	reqTimeout := flag.Duration("reqtimeout", 0, "with -serve: per-request deadline propagated into snapshot reads (default 2s)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the world run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the world run to this file")
 	flag.Parse()
@@ -154,6 +174,10 @@ func main() {
 		confirm:       *confirm,
 		maxQueue:      *maxQueue,
 		watchdog:      *watchdog,
+		serveAddr:     *serveAddr,
+		snapshotDir:   *snapshotDir,
+		inflight:      *inflight,
+		reqTimeout:    *reqTimeout,
 		set:           set,
 	}
 	if err := cli.validate(); err != nil {
@@ -222,6 +246,18 @@ func main() {
 		os.Exit(1)
 	}
 	began := time.Now()
+	if *serveAddr != "" {
+		code := runServe(ctx, world, cfg, serveOptions{
+			Addr:       *serveAddr,
+			Dir:        *snapshotDir,
+			Inflight:   *inflight,
+			ReqTimeout: *reqTimeout,
+		})
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
+		}
+		os.Exit(code)
+	}
 	if *workerDir != "" {
 		code := runShardWorker(ctx, world, cfg, diurnal.ShardOptions{
 			Dir:      *workerDir,
@@ -250,8 +286,13 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			if ctx.Err() != nil {
+			if errors.Is(err, context.Canceled) {
+				// SIGTERM/SIGINT drain: admissions stopped, admitted
+				// rounds processed, the event WAL flushed and the journal
+				// consistent. That is a clean shutdown, not a failure —
+				// anything else (drain error, deadline, I/O) stays exit 1.
 				fmt.Fprintf(os.Stderr, "daemon drained and stopped; rerun with -daemon %s to continue the stream\n", *daemonDir)
+				os.Exit(0)
 			}
 			os.Exit(1)
 		}

@@ -1,0 +1,219 @@
+package main
+
+// End-to-end -serve lifecycle: cold start (run the world, publish the
+// first snapshot, serve it), warm start (load what a previous process
+// published), graceful drain on cancellation, and exit 5 when no
+// snapshot can be built or loaded.
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/diurnalnet/diurnal"
+	"github.com/diurnalnet/diurnal/internal/serve"
+)
+
+// testWorld builds a small world plus a matching config, mirroring
+// main()'s baseline setup.
+func testWorld(t *testing.T) (*diurnal.World, diurnal.Config) {
+	t.Helper()
+	start := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC).Unix()
+	end := time.Date(2020, 2, 15, 0, 0, 0, 0, time.UTC).Unix()
+	world, err := diurnal.NewWorld(diurnal.WorldOptions{
+		Blocks: 40, Seed: 5, Calendar: diurnal.Calendar2020(),
+		Start: start, End: end, Observers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := diurnal.DefaultConfig(start, end)
+	cfg.BaselineStart = start
+	cfg.BaselineEnd = start + 28*diurnal.SecondsPerDay
+	return world, cfg
+}
+
+// startServe runs runServe in the background and returns its base URL
+// plus a shutdown func that cancels the context and reports the exit
+// code.
+func startServe(t *testing.T, world *diurnal.World, cfg diurnal.Config, dir string) (string, func() int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	code := make(chan int, 1)
+	go func() {
+		code <- runServe(ctx, world, cfg, serveOptions{
+			Addr: "127.0.0.1:0", Dir: dir, ReqTimeout: time.Second, ready: ready,
+		})
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr.String(), func() int {
+			cancel()
+			select {
+			case c := <-code:
+				return c
+			case <-time.After(10 * time.Second):
+				t.Fatal("runServe did not drain after cancellation")
+				return -1
+			}
+		}
+	case c := <-code:
+		cancel()
+		t.Fatalf("runServe exited %d before listening", c)
+		return "", nil
+	case <-time.After(2 * time.Minute):
+		cancel()
+		t.Fatal("runServe never started listening")
+		return "", nil
+	}
+}
+
+func TestServeColdStartAndDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a world in -short mode")
+	}
+	world, cfg := testWorld(t)
+	dir := t.TempDir()
+	base, shutdown := startServe(t, world, cfg, dir)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.SnapshotID == "" || st.Analyzed == 0 {
+		t.Errorf("stats show no live snapshot: %+v", st)
+	}
+	if code := shutdown(); code != 0 {
+		t.Errorf("graceful drain exited %d, want 0", code)
+	}
+
+	// The cold start published exactly one snapshot; a warm start must
+	// load it instead of re-running the world (a re-run would publish a
+	// second file).
+	before := snapCount(t, dir)
+	if before != 1 {
+		t.Fatalf("cold start published %d snapshots, want 1", before)
+	}
+	base, shutdown = startServe(t, world, cfg, dir)
+	resp, err = http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if code := shutdown(); code != 0 {
+		t.Errorf("warm-start drain exited %d, want 0", code)
+	}
+	if after := snapCount(t, dir); after != before {
+		t.Errorf("warm start changed snapshot count %d -> %d; it must serve the published one", before, after)
+	}
+}
+
+func TestServeExitsSnapshotFailed(t *testing.T) {
+	world, cfg := testWorld(t)
+	// The snapshot "directory" is a plain file: nothing to load, and the
+	// bootstrap publish cannot create it either.
+	dir := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(dir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code := runServe(context.Background(), world, cfg, serveOptions{
+		Addr: "127.0.0.1:0", Dir: dir, ReqTimeout: time.Second,
+	})
+	if code != exitSnapshotFailed {
+		t.Errorf("exit code = %d, want %d", code, exitSnapshotFailed)
+	}
+}
+
+func TestServeReloadQuarantinesForeignSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a world in -short mode")
+	}
+	world, cfg := testWorld(t)
+	dir := t.TempDir()
+	base, shutdown := startServe(t, world, cfg, dir)
+	servedID := statsNow(t, base).SnapshotID
+
+	// A snapshot signed by a different run lands in the directory, newer
+	// than the served one. The SIGHUP reload goes through LoadLatest,
+	// which must quarantine it and keep serving the original — never
+	// answer queries across runs.
+	foreignSig := append([]byte(nil), world.Signature(cfg)...)
+	foreignSig[0] ^= 0xFF // a different run's signature
+	rep, err := world.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serve.WriteSnapshot(dir, rep, foreignSig,
+		world.Start(), world.End()); err != nil {
+		t.Fatal(err)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := statsNow(t, base)
+		if st.Quarantined > 0 {
+			if st.SnapshotID != servedID {
+				t.Errorf("served snapshot changed %s -> %s after a foreign publish", servedID, st.SnapshotID)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("foreign snapshot was never quarantined on reload")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if code := shutdown(); code != 0 {
+		t.Errorf("drain exited %d, want 0", code)
+	}
+}
+
+func statsNow(t *testing.T, base string) serve.Stats {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func snapCount(t *testing.T, dir string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".snap" {
+			n++
+		}
+	}
+	return n
+}

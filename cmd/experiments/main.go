@@ -71,6 +71,7 @@ func catalog() []experiment {
 		{"supervisor", "runtime breakers, hedged stragglers, quorum guard (self-healing)", wrap(experiments.Supervisor)},
 		{"shardfailover", "kill -9 a leaseholder mid-shard; fenced takeover merges byte-identical", wrap(experiments.ShardFailover)},
 		{"streaming", "streaming daemon: kill-and-resume event identity, bounded detection latency", wrap(experiments.Streaming)},
+		{"serveload", "result-serving plane under 10x overload: shed-not-queue, bounded p99, corrupt publish quarantined", wrap(experiments.ServeLoad)},
 	}
 }
 

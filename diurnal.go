@@ -346,6 +346,14 @@ func (w *World) MergeShards(cfg Config, dir string) (*Report, *ShardAudit, error
 	return ledger.Merge(cfg, w.blocks)
 }
 
+// Signature returns the run signature binding cfg to this exact world:
+// the digest every artifact of the run (checkpoints, shard ledgers,
+// serve snapshots) carries so that readers can refuse data produced by a
+// different world or configuration.
+func (w *World) Signature(cfg Config) []byte {
+	return core.RunSignature(cfg, w.blocks)
+}
+
 func (w *World) openLedger(cfg Config, opts ShardOptions) (*shard.Ledger, error) {
 	sig := core.RunSignature(cfg, w.blocks)
 	sopt := shard.Options{TTL: opts.LeaseTTL}
@@ -432,7 +440,12 @@ func (w *World) RunStream(ctx context.Context, cfg Config, opts StreamOptions) (
 		if cerr := d.Close(); drainErr == nil {
 			drainErr = cerr
 		}
-		_ = drainErr
+		if drainErr != nil {
+			// The drain itself failed, so the journal may be behind the
+			// admitted rounds; that failure outranks the cancellation and
+			// callers must not treat the shutdown as clean.
+			return nil, evs, fmt.Errorf("diurnal: draining stream after %v: %w", err, drainErr)
+		}
 		return nil, evs, err
 	}
 	if err := d.Drain(ctx); err != nil {

@@ -87,7 +87,12 @@ func (o *Online) Update(v float64) bool {
 		s.GN = 0
 		s.Tan = i
 	}
-	if s.GP <= o.opts.Threshold && s.GN <= o.opts.Threshold {
+	// Positive alarm condition mirroring the batch detector's
+	// (gp > T || gn > T). The inverted form (GP <= T && GN <= T → no
+	// alarm) is not equivalent under NaN: every NaN comparison is false,
+	// so a NaN sample fell through here and emitted a bogus Down change
+	// per sample. NaN input must detect nothing, exactly as in batch.
+	if !(s.GP > o.opts.Threshold || s.GN > o.opts.Threshold) {
 		return false
 	}
 	c := Change{Alarm: i, End: i}

@@ -1,6 +1,7 @@
 package changepoint
 
 import (
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -116,4 +117,84 @@ func stripAmp(cs []Change) []Change {
 		out[i].Amplitude = 0
 	}
 	return out
+}
+
+// TestOnlineAllNaN mirrors the batch edge suite's TestDetectAllNaN: an
+// all-NaN window (a streaming block whose normalized series is all gaps)
+// must detect nothing. Before the alarm condition was flipped to the
+// batch detector's positive form, every NaN sample emitted a bogus Down
+// change — one per sample, forever.
+func TestOnlineAllNaN(t *testing.T) {
+	o, err := NewOnline(Opts{Threshold: 1, Drift: 0.004})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if o.Update(math.NaN()) {
+			t.Fatalf("NaN sample %d tripped an alarm", i)
+		}
+	}
+	if got := o.Changes(); len(got) != 0 {
+		t.Fatalf("all-NaN window detected %+v", got)
+	}
+	if o.Count() != 64 {
+		t.Fatalf("count %d, want 64", o.Count())
+	}
+	// Parity with batch on the same input.
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = math.NaN()
+	}
+	if want := batchForward(x, Opts{Threshold: 1, Drift: 0.004}); len(want) != 0 {
+		t.Fatalf("batch reference detected %+v", want)
+	}
+}
+
+// TestOnlineSingleSample: one sample has no difference to accumulate —
+// no alarm, usable state, resumable.
+func TestOnlineSingleSample(t *testing.T) {
+	opts := Opts{Threshold: 1, Drift: 0.004}
+	o, err := NewOnline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Update(3.14) {
+		t.Fatal("single sample alarmed")
+	}
+	if len(o.Changes()) != 0 || o.Count() != 1 {
+		t.Fatalf("changes %v count %d", o.Changes(), o.Count())
+	}
+	// The snapshot after one sample restores cleanly.
+	r, err := RestoreOnline(opts, o.State(), o.Changes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 1 {
+		t.Fatalf("restored count %d", r.Count())
+	}
+}
+
+// TestOnlineEmptyBaseline: a frozen baseline of length 0 normalizes to an
+// empty series (stats.ZScore of nothing is nothing); feeding it is a
+// no-op and the detector stays usable for later real samples.
+func TestOnlineEmptyBaseline(t *testing.T) {
+	o, err := NewOnline(Opts{Threshold: 1, Drift: 0.004})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.UpdateBatch(Normalize(nil))
+	o.UpdateBatch(Normalize([]float64{}))
+	if o.Count() != 0 || len(o.Changes()) != 0 {
+		t.Fatalf("empty baseline advanced the detector: count %d changes %v", o.Count(), o.Changes())
+	}
+	// Still alive: a clear step afterwards is detected.
+	for i := 0; i < 50; i++ {
+		o.Update(0)
+	}
+	for i := 0; i < 50; i++ {
+		o.Update(5)
+	}
+	if len(o.Changes()) == 0 {
+		t.Fatal("detector dead after empty baseline")
+	}
 }

@@ -32,8 +32,8 @@ type Plan struct {
 	twI  [][]complex128 // inverse (conjugate) twiddles
 
 	// Bluestein machinery (nil for power-of-two lengths).
-	m              int    // padded power-of-two convolution length
-	sub            *Plan  // power-of-two subplan of length m
+	m              int   // padded power-of-two convolution length
+	sub            *Plan // power-of-two subplan of length m
 	chirpF, chirpI []complex128
 	bspecF, bspecI []complex128 // FFT of the chirp filter, both signs
 	work           []complex128 // length-m convolution buffer

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServeLoad exercises the serving-plane acceptance contract at
+// reduced scale. ServeLoad itself errors on any breach (a non-200/503
+// response, a shed without Retry-After, nothing shed at 10× overload, a
+// corrupt publish served or not quarantined), so a nil error plus the
+// verdict fields is the whole acceptance check.
+func TestServeLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full analysis plus two load runs")
+	}
+	res, err := ServeLoad(Options{Blocks: 24})
+	if err != nil {
+		t.Fatalf("serving contract broken: %v", err)
+	}
+	if res.Overload.Shed == 0 || res.Overload.OK == 0 {
+		t.Fatalf("overload run is vacuous:\n%s", res)
+	}
+	if res.Quarantined == 0 || !res.ServedLastGood {
+		t.Fatalf("corrupt publish was not contained:\n%s", res)
+	}
+	// Cheap point reads stay bounded even at 10× overload; the bound is
+	// generous for CI but a queued (rather than shed) overload blows it.
+	if p99 := res.Overload.Classes["cell"].P99ms; p99 > 500 {
+		t.Fatalf("cell p99 = %.1fms under overload:\n%s", p99, res)
+	}
+	if s := res.String(); !strings.Contains(s, "OK") || strings.Contains(s, "VIOLATED") {
+		t.Fatalf("report does not state a clean verdict:\n%s", s)
+	}
+}

@@ -1,0 +1,117 @@
+package serve
+
+// Bounded admission with prioritized load shedding. Every non-cached
+// request must win an admission slot before touching the snapshot; the
+// slot pool is shared, but each priority class sees a different ceiling,
+// so as inflight work piles up the expensive classes hit their (lower)
+// ceiling and shed first while cheap point reads keep being admitted
+// until the pool is truly full. There is no queue: a request that cannot
+// be admitted is shed immediately with 503 + Retry-After — bounded
+// admission means bounded latency, not bounded loss.
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Class is a request's admission priority.
+type Class int
+
+// Classes in shedding order: the higher the class value, the earlier it
+// sheds under load.
+const (
+	// ClassCell is a point read of one cell's series — cheap, cacheable,
+	// the last class to shed.
+	ClassCell Class = iota
+	// ClassRegion is a continent aggregate: a bounded scan.
+	ClassRegion
+	// ClassTopK is a full-snapshot ranking scan — the most expensive
+	// query, first to shed.
+	ClassTopK
+	numClasses
+)
+
+// String names the class as reported in /v1/stats.
+func (c Class) String() string {
+	switch c {
+	case ClassCell:
+		return "cell"
+	case ClassRegion:
+		return "region"
+	case ClassTopK:
+		return "topk"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// admission is the shared slot pool with per-class ceilings.
+type admission struct {
+	limits   [numClasses]int64
+	inflight atomic.Int64
+	admitted [numClasses]atomic.Uint64
+	shed     [numClasses]atomic.Uint64
+}
+
+// newAdmission sizes the pool: cell reads may use every slot, continent
+// aggregates three quarters, top-k scans half. With max <= 0 the default
+// of 64 slots applies.
+func newAdmission(max int) *admission {
+	if max <= 0 {
+		max = 64
+	}
+	a := &admission{}
+	a.limits[ClassCell] = int64(max)
+	a.limits[ClassRegion] = int64(max) * 3 / 4
+	a.limits[ClassTopK] = int64(max) / 2
+	for c := ClassRegion; c < numClasses; c++ {
+		if a.limits[c] < 1 {
+			a.limits[c] = 1
+		}
+	}
+	return a
+}
+
+// tryAdmit claims a slot for class c; false means shed. CAS on the
+// shared counter keeps the ceiling exact under concurrency — a class
+// never exceeds its limit by racing admissions.
+func (a *admission) tryAdmit(c Class) bool {
+	limit := a.limits[c]
+	for {
+		cur := a.inflight.Load()
+		if cur >= limit {
+			a.shed[c].Add(1)
+			return false
+		}
+		if a.inflight.CompareAndSwap(cur, cur+1) {
+			a.admitted[c].Add(1)
+			return true
+		}
+	}
+}
+
+// release returns a slot.
+func (a *admission) release() { a.inflight.Add(-1) }
+
+// AdmissionStats is the admission layer's counters for /v1/stats.
+type AdmissionStats struct {
+	Inflight int64             `json:"inflight"`
+	Limits   map[string]int64  `json:"limits"`
+	Admitted map[string]uint64 `json:"admitted"`
+	Shed     map[string]uint64 `json:"shed"`
+}
+
+func (a *admission) stats() AdmissionStats {
+	st := AdmissionStats{
+		Inflight: a.inflight.Load(),
+		Limits:   map[string]int64{},
+		Admitted: map[string]uint64{},
+		Shed:     map[string]uint64{},
+	}
+	for c := ClassCell; c < numClasses; c++ {
+		st.Limits[c.String()] = a.limits[c]
+		st.Admitted[c.String()] = a.admitted[c].Load()
+		st.Shed[c.String()] = a.shed[c].Load()
+	}
+	return st
+}

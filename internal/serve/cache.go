@@ -1,0 +1,147 @@
+package serve
+
+// Stale-while-revalidate response cache. Entries are keyed by canonical
+// query and stamped with the snapshot epoch they were computed against;
+// a hot swap bumps the epoch instead of flushing, so for StaleTTL after
+// a swap (or after an entry's freshness lapses) the cache keeps
+// absorbing read load with explicitly-stale responses while fresh ones
+// are recomputed. Under overload this is the degradation ladder:
+// fresh hit → stale hit (marked) → shed.
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// cacheEntry is one cached rendered response.
+type cacheEntry struct {
+	key    string
+	body   []byte
+	snapID string
+	epoch  uint64
+	at     time.Time
+	elem   *list.Element
+}
+
+type responseCache struct {
+	mu       sync.Mutex
+	entries  map[string]*cacheEntry
+	lru      *list.List // front = most recently used
+	cap      int
+	freshTTL time.Duration
+	staleTTL time.Duration
+	epoch    atomic.Uint64
+	now      func() time.Time
+
+	hits, staleHits, misses atomic.Uint64
+}
+
+func newResponseCache(capacity int, freshTTL, staleTTL time.Duration) *responseCache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	if freshTTL <= 0 {
+		freshTTL = 5 * time.Second
+	}
+	if staleTTL < freshTTL {
+		staleTTL = 10 * freshTTL
+	}
+	return &responseCache{
+		entries:  map[string]*cacheEntry{},
+		lru:      list.New(),
+		cap:      capacity,
+		freshTTL: freshTTL,
+		staleTTL: staleTTL,
+		now:      time.Now,
+	}
+}
+
+// bumpEpoch marks every current entry stale (a snapshot was swapped in).
+func (c *responseCache) bumpEpoch() { c.epoch.Add(1) }
+
+// cached is a reader's snapshot of one entry, copied out under the lock
+// so a concurrent put (which rewrites entry fields in place) cannot race
+// the response write.
+type cached struct {
+	body   []byte
+	snapID string
+}
+
+// get returns a cached response and whether it is fresh. A fresh entry
+// was computed against the current snapshot epoch within freshTTL; a
+// stale one is older or from a pre-swap epoch but still within staleTTL
+// — servable while a revalidation runs, marked so the client knows.
+// (nil, false) means miss.
+func (c *responseCache) get(key string) (e *cached, fresh bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent := c.entries[key]
+	if ent == nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	age := c.now().Sub(ent.at)
+	if age > c.staleTTL {
+		c.lru.Remove(ent.elem)
+		delete(c.entries, key)
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.lru.MoveToFront(ent.elem)
+	out := &cached{body: ent.body, snapID: ent.snapID}
+	if ent.epoch == c.epoch.Load() && age <= c.freshTTL {
+		c.hits.Add(1)
+		return out, true
+	}
+	c.staleHits.Add(1)
+	return out, false
+}
+
+// put stores a rendered response against the current epoch.
+func (c *responseCache) put(key string, body []byte, snapID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ent := c.entries[key]; ent != nil {
+		ent.body = body
+		ent.snapID = snapID
+		ent.epoch = c.epoch.Load()
+		ent.at = c.now()
+		c.lru.MoveToFront(ent.elem)
+		return
+	}
+	ent := &cacheEntry{key: key, body: body, snapID: snapID, epoch: c.epoch.Load(), at: c.now()}
+	ent.elem = c.lru.PushFront(ent)
+	c.entries[key] = ent
+	for len(c.entries) > c.cap {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		old := c.lru.Remove(back).(*cacheEntry)
+		delete(c.entries, old.key)
+	}
+}
+
+// CacheStats is the cache's counters for /v1/stats.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Epoch     uint64 `json:"epoch"`
+	Hits      uint64 `json:"hits"`
+	StaleHits uint64 `json:"stale_hits"`
+	Misses    uint64 `json:"misses"`
+}
+
+func (c *responseCache) stats() CacheStats {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return CacheStats{
+		Entries:   n,
+		Epoch:     c.epoch.Load(),
+		Hits:      c.hits.Load(),
+		StaleHits: c.staleHits.Load(),
+		Misses:    c.misses.Load(),
+	}
+}

@@ -1,0 +1,111 @@
+package serve
+
+// Shared test fixture: a small hand-built WorldResult whose aggregates
+// come from core.Reaggregate itself, so snapshot queries can be checked
+// against the canonical in-memory series functions rather than against
+// numbers duplicated by hand.
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/diurnalnet/diurnal/internal/blockclass"
+	"github.com/diurnalnet/diurnal/internal/changepoint"
+	"github.com/diurnalnet/diurnal/internal/core"
+	"github.com/diurnalnet/diurnal/internal/geo"
+	"github.com/diurnalnet/diurnal/internal/netsim"
+)
+
+// testStartDay anchors the fixture window (a UTC day index in 2019).
+const testStartDay = 18000
+
+var (
+	testRegionAsia = &geo.Region{Code: "CN", Name: "China", Continent: geo.Asia}
+	testRegionSAm  = &geo.Region{Code: "BR", Name: "Brazil", Continent: geo.SouthAmerica}
+)
+
+// testChange builds one change entirely inside day d of the window.
+func testChange(start int64, d int64, dir changepoint.Direction) core.Change {
+	base := start + d*netsim.SecondsPerDay
+	return core.Change{
+		Dir:          dir,
+		Start:        base + 6*3600,
+		Alarm:        base + 8*3600,
+		End:          base + 10*3600,
+		Point:        base + 7*3600,
+		Amplitude:    0.4,
+		RawAmplitude: 120,
+	}
+}
+
+// testBlock builds one analyzed block.
+func testBlock(id uint32, region *geo.Region, lat, lon float64, cs bool, changes []core.Change) core.BlockOutcome {
+	return core.BlockOutcome{
+		ID: netsim.BlockID(id),
+		Place: geo.Placement{
+			Index:  int(id),
+			Region: region,
+			Lat:    lat,
+			Lon:    lon,
+			Cell:   geo.CellOf(lat, lon),
+		},
+		Analysis: &core.BlockAnalysis{
+			Class:   blockclass.Result{Responsive: true, ChangeSensitive: cs},
+			Changes: changes,
+		},
+	}
+}
+
+// testResult builds the fixture world: two Asian cells and one South
+// American, one failed block, and a handful of changes spread over a
+// ten-day window. Aggregates are rebuilt by core.Reaggregate.
+func testResult(t *testing.T) (res *core.WorldResult, sig []byte, start, end int64) {
+	t.Helper()
+	return buildResult()
+}
+
+// buildResult is testResult without the *testing.T, for fuzz seeding.
+func buildResult() (res *core.WorldResult, sig []byte, start, end int64) {
+	start = int64(testStartDay) * netsim.SecondsPerDay
+	end = start + 10*netsim.SecondsPerDay
+	res = &core.WorldResult{
+		Blocks: []core.BlockOutcome{
+			testBlock(1, testRegionAsia, 30.5, 114.5, true, []core.Change{
+				testChange(start, 2, changepoint.Down),
+				testChange(start, 3, changepoint.Down),
+				testChange(start, 5, changepoint.Up),
+			}),
+			testBlock(2, testRegionAsia, 30.9, 114.9, true, []core.Change{
+				testChange(start, 2, changepoint.Down),
+			}),
+			testBlock(3, testRegionAsia, 30.7, 114.2, false, nil),
+			testBlock(4, testRegionAsia, 36.5, 120.5, true, []core.Change{
+				testChange(start, 7, changepoint.Down),
+			}),
+			testBlock(5, testRegionSAm, -10.5, -48.3, true, []core.Change{
+				testChange(start, 4, changepoint.Up),
+			}),
+		},
+	}
+	// One failed block (nil Analysis) in its own cell: the snapshot must
+	// still carry its placement.
+	res.Blocks = append(res.Blocks, core.BlockOutcome{
+		ID:    netsim.BlockID(6),
+		Place: geo.Placement{Index: 6, Region: testRegionSAm, Lat: -20.5, Lon: -50.5, Cell: geo.CellOf(-20.5, -50.5)},
+	})
+	res.Reaggregate()
+	sig = bytes.Repeat([]byte{0xAB}, 32)
+	return res, sig, start, end
+}
+
+// writeTestSnapshot encodes the fixture into dir and returns its path
+// plus the fixture pieces.
+func writeTestSnapshot(t *testing.T, dir string) (path string, res *core.WorldResult, sig []byte, start, end int64) {
+	t.Helper()
+	res, sig, start, end = testResult(t)
+	path, err := WriteSnapshot(dir, res, sig, start, end)
+	if err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	return path, res, sig, start, end
+}

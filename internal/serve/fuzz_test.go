@@ -1,0 +1,45 @@
+package serve
+
+// FuzzSnapshotDecode holds decodeSnapshot to its never-panic contract on
+// arbitrary bytes, and to self-consistency on the bytes it does accept:
+// a clean decode must expose section lengths matching its own manifest.
+
+import (
+	"testing"
+)
+
+func FuzzSnapshotDecode(f *testing.F) {
+	// Seed with a valid snapshot and systematic damage so the fuzzer
+	// starts at the interesting boundaries instead of random noise.
+	res, sig, start, end := buildResult()
+	valid, err := EncodeSnapshot(res, sig, start, end)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:8])
+	f.Add([]byte{})
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x04
+	f.Add(flipped)
+	f.Add(append(append([]byte(nil), valid...), valid...)) // doubled: duplicate sections
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, faults := decodeSnapshot(data)
+		if (d == nil) == (len(faults) == 0) {
+			t.Fatalf("decode returned data=%v with %d faults", d != nil, len(faults))
+		}
+		if d == nil {
+			return
+		}
+		m := d.meta
+		if len(d.cells) != m.Cells || len(d.blocks) != m.Blocks ||
+			len(d.changes) != m.Changes || d.daily.rows != m.DailyRows {
+			t.Fatalf("clean decode disagrees with its manifest: %+v", m)
+		}
+		if len(d.dailyOf) != m.Cells+1 || len(d.chOf) != m.Blocks+1 {
+			t.Fatal("offset arrays do not bracket their sections")
+		}
+	})
+}

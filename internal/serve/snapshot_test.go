@@ -1,0 +1,310 @@
+package serve
+
+// Codec tests: roundtrip parity against the canonical in-memory series
+// functions, and verification against every flavor of damage the format
+// claims to detect.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/diurnalnet/diurnal/internal/changepoint"
+	"github.com/diurnalnet/diurnal/internal/core"
+	"github.com/diurnalnet/diurnal/internal/geo"
+)
+
+func openTestSnapshot(t *testing.T) (*Snapshot, *core.WorldResult, int64, int64) {
+	t.Helper()
+	path, res, _, start, end := writeTestSnapshot(t, t.TempDir())
+	sn, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatalf("OpenSnapshot: %v", err)
+	}
+	t.Cleanup(sn.Close)
+	return sn, res, start, end
+}
+
+func TestSnapshotRoundtripMeta(t *testing.T) {
+	sn, res, start, end := openTestSnapshot(t)
+	m := sn.Meta()
+	if m.Start != start || m.End != end {
+		t.Errorf("window [%d,%d), want [%d,%d)", m.Start, m.End, start, end)
+	}
+	if m.AnalyzedBlocks != res.Report.AnalyzedBlocks {
+		t.Errorf("AnalyzedBlocks = %d, want %d", m.AnalyzedBlocks, res.Report.AnalyzedBlocks)
+	}
+	if m.Degraded {
+		t.Error("fixture run is not degraded")
+	}
+	if m.Blocks != len(res.Blocks) {
+		t.Errorf("Blocks = %d, want %d", m.Blocks, len(res.Blocks))
+	}
+	// Union of aggregated cells and block placements: the failed block's
+	// cell has no CellStats but must still be present.
+	wantCells := map[geo.CellKey]bool{}
+	for k := range res.Cells {
+		wantCells[k] = true
+	}
+	for i := range res.Blocks {
+		wantCells[res.Blocks[i].Place.Cell] = true
+	}
+	if m.Cells != len(wantCells) {
+		t.Errorf("Cells = %d, want %d", m.Cells, len(wantCells))
+	}
+}
+
+// TestSnapshotCellParity checks CellQuery against core's
+// CellFractionSeries for every cell and both directions.
+func TestSnapshotCellParity(t *testing.T) {
+	sn, res, _, _ := openTestSnapshot(t)
+	startDay, endDay := sn.Meta().StartDay(), sn.Meta().StartDay()+int64(sn.Meta().Days())
+	for _, key := range sn.CellKeys() {
+		for _, dir := range []changepoint.Direction{changepoint.Down, changepoint.Up} {
+			want := res.CellFractionSeries(key, dir, startDay, endDay)
+			got, ok, err := sn.CellQuery(context.Background(), key, dir, 0, 0)
+			if err != nil || !ok {
+				t.Fatalf("CellQuery(%v, %v): ok=%v err=%v", key, dir, ok, err)
+			}
+			if len(got.Frac) != len(want) {
+				t.Fatalf("cell %v dir %v: %d days, want %d", key, dir, len(got.Frac), len(want))
+			}
+			for i := range want {
+				if got.Frac[i] != want[i] {
+					t.Errorf("cell %v dir %v day %d: frac %g, want %g", key, dir, i, got.Frac[i], want[i])
+				}
+			}
+			if st := res.Cells[key]; st != nil {
+				if got.CS != st.ChangeSensitive || got.Responsive != st.Responsive || got.Continent != st.Continent {
+					t.Errorf("cell %v stats (%d,%d,%v), want (%d,%d,%v)", key,
+						got.CS, got.Responsive, got.Continent,
+						st.ChangeSensitive, st.Responsive, st.Continent)
+				}
+			}
+		}
+	}
+}
+
+func TestSnapshotCellWindowing(t *testing.T) {
+	sn, res, _, _ := openTestSnapshot(t)
+	key := geo.CellOf(30.5, 114.5)
+	from, to := int64(testStartDay+2), int64(testStartDay+4)
+	want := res.CellFractionSeries(key, changepoint.Down, from, to)
+	got, ok, err := sn.CellQuery(context.Background(), key, changepoint.Down, from, to)
+	if err != nil || !ok {
+		t.Fatalf("windowed CellQuery: ok=%v err=%v", ok, err)
+	}
+	if got.StartDay != from || len(got.Frac) != len(want) {
+		t.Fatalf("window start=%d len=%d, want start=%d len=%d", got.StartDay, len(got.Frac), from, len(want))
+	}
+	for i := range want {
+		if got.Frac[i] != want[i] {
+			t.Errorf("day %d: frac %g, want %g", i, got.Frac[i], want[i])
+		}
+	}
+	if _, ok, _ := sn.CellQuery(context.Background(), key, changepoint.Down, 99999, 100000); ok {
+		t.Error("window outside snapshot should report ok=false")
+	}
+	if _, ok, _ := sn.CellQuery(context.Background(), geo.CellKey{Lat: 40, Lon: 40}, changepoint.Down, 0, 0); ok {
+		t.Error("unknown cell should report ok=false")
+	}
+}
+
+func TestSnapshotContinentParity(t *testing.T) {
+	sn, res, _, _ := openTestSnapshot(t)
+	startDay, endDay := sn.Meta().StartDay(), sn.Meta().StartDay()+int64(sn.Meta().Days())
+	for _, cont := range []geo.Continent{geo.Asia, geo.SouthAmerica} {
+		want := res.ContinentFractionSeries(cont, startDay, endDay)
+		got, err := sn.ContinentQuery(context.Background(), cont, 0, 0)
+		if err != nil {
+			t.Fatalf("ContinentQuery(%v): %v", cont, err)
+		}
+		if got.CS != res.ContinentCS[cont] {
+			t.Errorf("%v CS = %d, want %d", cont, got.CS, res.ContinentCS[cont])
+		}
+		for i := range want {
+			if got.Frac[i] != want[i] {
+				t.Errorf("%v day %d: frac %g, want %g", cont, i, got.Frac[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSnapshotTopK(t *testing.T) {
+	sn, _, _, _ := openTestSnapshot(t)
+	top, err := sn.TopK(context.Background(), 10, changepoint.Down, 0, 0)
+	if err != nil {
+		t.Fatalf("TopK: %v", err)
+	}
+	// Fixture downward alarms: cell (30,114)-ish has 3 (two blocks), the
+	// (36,120) cell 1, South America none.
+	if len(top) != 2 {
+		t.Fatalf("TopK returned %d cells, want 2: %+v", len(top), top)
+	}
+	if top[0].Cell != geo.CellOf(30.5, 114.5) || top[0].Alarms != 3 {
+		t.Errorf("top[0] = %+v, want cell (30.5,114.5) with 3 alarms", top[0])
+	}
+	if top[1].Alarms != 1 {
+		t.Errorf("top[1] = %+v, want 1 alarm", top[1])
+	}
+	// k truncates.
+	if one, _ := sn.TopK(context.Background(), 1, changepoint.Down, 0, 0); len(one) != 1 {
+		t.Errorf("TopK(1) returned %d cells", len(one))
+	}
+}
+
+func TestSnapshotBlockChanges(t *testing.T) {
+	sn, res, _, _ := openTestSnapshot(t)
+	changes, cell, ok := sn.BlockChanges(1)
+	if !ok {
+		t.Fatal("block 1 missing")
+	}
+	if cell != geo.CellOf(30.5, 114.5) {
+		t.Errorf("block 1 cell = %v", cell)
+	}
+	want := res.Blocks[0].Analysis.Changes
+	if len(changes) != len(want) {
+		t.Fatalf("%d changes, want %d", len(changes), len(want))
+	}
+	for i, c := range changes {
+		w := want[i]
+		if c.Start != w.Start || c.Alarm != w.Alarm || c.End != w.End || c.Point != w.Point {
+			t.Errorf("change %d times (%d,%d,%d,%d), want (%d,%d,%d,%d)", i,
+				c.Start, c.Alarm, c.End, c.Point, w.Start, w.Alarm, w.End, w.Point)
+		}
+		if c.Dir != w.Dir.String() || c.Amplitude != w.Amplitude || c.RawAmplitude != w.RawAmplitude {
+			t.Errorf("change %d payload %+v, want %+v", i, c, w)
+		}
+	}
+	// The failed block is present with zero changes.
+	if ch, _, ok := sn.BlockChanges(6); !ok || len(ch) != 0 {
+		t.Errorf("failed block: ok=%v changes=%d, want present with none", ok, len(ch))
+	}
+	if _, _, ok := sn.BlockChanges(999); ok {
+		t.Error("unknown block id should report ok=false")
+	}
+}
+
+func TestVerifyCleanSnapshot(t *testing.T) {
+	path, _, _, _, _ := writeTestSnapshot(t, t.TempDir())
+	rep, err := VerifySnapshot(path)
+	if err != nil {
+		t.Fatalf("VerifySnapshot: %v", err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("clean snapshot reported faults:\n%s", rep)
+	}
+	if rep.Meta.Cells == 0 || rep.Meta.Blocks == 0 {
+		t.Errorf("verify did not recover the manifest: %+v", rep.Meta)
+	}
+}
+
+// TestVerifyDetectsDamage flips, truncates, and appends; every mutation
+// must be caught by Verify and refused by OpenSnapshot.
+func TestVerifyDetectsDamage(t *testing.T) {
+	path, _, _, _, _ := writeTestSnapshot(t, t.TempDir())
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func([]byte) []byte{
+		"bit flip early": func(b []byte) []byte { b[10] ^= 0x01; return b },
+		"bit flip mid":   func(b []byte) []byte { b[len(b)/2] ^= 0x80; return b },
+		"bit flip last":  func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b },
+		"truncated tail": func(b []byte) []byte { return b[:len(b)-7] },
+		"half file":      func(b []byte) []byte { return b[:len(b)/2] },
+		"empty file":     func(b []byte) []byte { return nil },
+		"garbage append": func(b []byte) []byte { return append(b, 0xDE, 0xAD, 0xBE, 0xEF) },
+		"frame dropped": func(b []byte) []byte {
+			// Drop the trailer frame exactly: a truncation at a frame
+			// boundary that per-frame CRCs cannot see.
+			return b[:len(b)-(8+1+4+8)]
+		},
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			bad := filepath.Join(dir, "snap-00000000.snap")
+			if err := os.WriteFile(bad, mutate(append([]byte(nil), orig...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			rep, err := VerifySnapshot(bad)
+			if err != nil {
+				t.Fatalf("VerifySnapshot should read damaged files: %v", err)
+			}
+			if rep.Clean() {
+				t.Fatalf("%s not detected", name)
+			}
+			if _, err := OpenSnapshot(bad); err == nil {
+				t.Fatalf("OpenSnapshot accepted %s", name)
+			}
+		})
+	}
+}
+
+func TestWriteSnapshotSequencing(t *testing.T) {
+	dir := t.TempDir()
+	res, sig, start, end := testResult(t)
+	p0, err := WriteSnapshot(dir, res, sig, start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := WriteSnapshot(dir, res, sig, start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p0) != SnapshotName(0) || filepath.Base(p1) != SnapshotName(1) {
+		t.Errorf("sequence names %q, %q", p0, p1)
+	}
+	names, err := listSnapshots(dir)
+	if err != nil || len(names) != 2 {
+		t.Fatalf("listSnapshots = %v, %v", names, err)
+	}
+	// Temp droppings and quarantined snapshots are invisible.
+	for _, junk := range []string{"snap-00000002.snap.tmp123", "snap-00000002.snap.quarantined", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, junk), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, _ = listSnapshots(dir)
+	if len(names) != 2 {
+		t.Errorf("listSnapshots sees junk: %v", names)
+	}
+}
+
+func TestEncodeSnapshotRejects(t *testing.T) {
+	res, sig, start, end := testResult(t)
+	if _, err := EncodeSnapshot(nil, sig, start, end); err == nil {
+		t.Error("nil result accepted")
+	}
+	if _, err := EncodeSnapshot(res, nil, start, end); err == nil {
+		t.Error("empty signature accepted")
+	}
+	if _, err := EncodeSnapshot(res, sig, end, start); err == nil {
+		t.Error("inverted window accepted")
+	}
+	// A change outside the window cannot be offset-encoded.
+	bad, _, _, _ := testResult(t)
+	bad.Blocks[0].Analysis.Changes[0].Start = start - 100
+	if _, err := EncodeSnapshot(bad, sig, start, end); err == nil {
+		t.Error("out-of-window change accepted")
+	}
+}
+
+// TestSnapshotDeterministic: same result, same bytes — the snapshot ID
+// is content-addressed.
+func TestSnapshotDeterministic(t *testing.T) {
+	res, sig, start, end := testResult(t)
+	a, err := EncodeSnapshot(res, sig, start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeSnapshot(res, sig, start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("encoding is not deterministic")
+	}
+}

@@ -54,6 +54,7 @@ type Daemon struct {
 
 	mu        sync.Mutex
 	det       *detector
+	detStats  detSnapshot
 	rounds    *wal
 	events    *wal
 	queue     []*Round
@@ -170,6 +171,7 @@ func Open(dir string, world []*dataset.WorldBlock, obsCount int, cfg Config) (*D
 		}
 	}
 	d.det = det
+	d.detStats = snapshotDet(det)
 	d.nextSeq = det.processed
 	return d, nil
 }
@@ -322,6 +324,7 @@ func (d *Daemon) loop(gen int64, det *detector) {
 			return
 		}
 		d.busy = false
+		d.detStats = snapshotDet(det)
 		if err != nil {
 			d.err = fmt.Errorf("stream: processing round %d: %w", r.Seq, err)
 			d.cancel()
@@ -423,6 +426,7 @@ func (d *Daemon) restartLocked() error {
 		deliver = append(deliver, ev)
 	}
 	d.det = det
+	d.detStats = snapshotDet(det)
 	d.queue = nil
 	d.bump()
 	d.wg.Add(1)
@@ -488,19 +492,37 @@ func (d *Daemon) Result() (*core.WorldResult, error) {
 	return d.det.result()
 }
 
+// detSnapshot mirrors the detector counters Stats reports. The analysis
+// loop mutates its detector *outside* d.mu (ingest is the long pole and
+// must not block admission), so Stats can never touch d.det directly;
+// the loop refreshes this mirror under d.mu after every round.
+type detSnapshot struct {
+	processed, refreshes, blockErrs int64
+	scores                          []float64
+}
+
+func snapshotDet(det *detector) detSnapshot {
+	return detSnapshot{
+		processed: det.processed,
+		refreshes: det.refreshes,
+		blockErrs: det.blockErrs,
+		scores:    det.scores(),
+	}
+}
+
 // Stats snapshots daemon health.
 func (d *Daemon) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return Stats{
 		IngestedRounds:  d.nextSeq,
-		ProcessedRounds: d.det.processed,
-		Refreshes:       d.det.refreshes,
+		ProcessedRounds: d.detStats.processed,
+		Refreshes:       d.detStats.refreshes,
 		Events:          int64(len(d.journaled)),
 		Restarts:        d.restarts,
 		MaxQueueDepth:   d.maxDepth,
-		BlockErrors:     d.det.blockErrs,
-		DiurnalScores:   d.det.scores(),
+		BlockErrors:     d.detStats.blockErrs,
+		DiurnalScores:   append([]float64(nil), d.detStats.scores...),
 	}
 }
 
