@@ -50,7 +50,7 @@ experiments:
 # the terminal. The default single-iteration run keeps the full-world
 # benchmarks affordable; override BENCH_ARGS (e.g. -benchtime=2s
 # -bench=Periodogram) for steady-state numbers on a chosen subset.
-BENCH_JSON ?= BENCH_7.json
+BENCH_JSON ?= BENCH_8.json
 BENCH_ARGS ?= -benchtime=1x
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem $(BENCH_ARGS) ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)

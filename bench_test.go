@@ -2,6 +2,7 @@ package diurnal
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -193,6 +194,32 @@ func BenchmarkEndToEndWorld(b *testing.B) {
 		if _, err := w.Run(DefaultConfig(start, end)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkScalingWorkers measures the end-to-end world run at 1 through
+// 32 analysis workers — the worker-scaling curve for the batched analysis
+// engine. Results are identical at every width (the batch scheduler is
+// bit-deterministic); only wall clock changes. On hosts with fewer cores
+// than workers the curve flattens at the core count.
+func BenchmarkScalingWorkers(b *testing.B) {
+	start, end := Date(2020, 1, 1), Date(2020, 2, 26)
+	for _, workers := range []int{1, 2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w, err := NewWorld(WorldOptions{
+					Blocks: 60, Seed: 1, Calendar: Calendar2020(), Start: start, End: end,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := w.RunContext(context.Background(), DefaultConfig(start, end),
+					RunOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -9,6 +9,13 @@
 // stripped), iteration count, ns/op, B/op and allocs/op when -benchmem was
 // given, and any custom b.ReportMetric units (e.g. the serve load
 // harness's p50-ms/p99-ms) under "extra".
+//
+// When writing to a file, each result also carries a "baseline" object
+// diffing it against the previous summary: -baseline names the file
+// explicitly, an empty flag auto-discovers the highest-numbered
+// BENCH_<n>.json sitting next to -o, and -baseline none disables the
+// diff. Deltas are percentages relative to the baseline, so a negative
+// ns_delta_pct is a speedup.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
@@ -30,6 +38,103 @@ type Result struct {
 	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
 	Extra       map[string]float64 `json:"extra,omitempty"`
+	// Baseline carries the same benchmark's numbers from a previous
+	// summary (see -baseline), with per-metric deltas.
+	Baseline *Baseline `json:"baseline,omitempty"`
+}
+
+// Baseline is the prior run's numbers for one benchmark with the change
+// relative to them; delta percentages are (new-old)/old*100, so negative
+// ns_delta_pct means the benchmark got faster.
+type Baseline struct {
+	File           string   `json:"file"`
+	NsPerOp        float64  `json:"ns_per_op"`
+	NsDeltaPct     float64  `json:"ns_delta_pct"`
+	BytesDeltaPct  *float64 `json:"bytes_delta_pct,omitempty"`
+	AllocsDeltaPct *float64 `json:"allocs_delta_pct,omitempty"`
+}
+
+// deltaPct returns (now-then)/then as a percentage; zero baselines yield
+// no delta (nil for the pointer variants, 0 for ns).
+func deltaPct(now, then float64) float64 {
+	if then == 0 {
+		return 0
+	}
+	return (now - then) / then * 100
+}
+
+// attachBaseline fills each result's Baseline from the prior summary.
+func attachBaseline(results []Result, prior []Result, file string) {
+	byName := make(map[string]*Result, len(prior))
+	for i := range prior {
+		byName[prior[i].Name] = &prior[i]
+	}
+	for i := range results {
+		r := &results[i]
+		old, ok := byName[r.Name]
+		if !ok {
+			continue
+		}
+		b := &Baseline{
+			File:       file,
+			NsPerOp:    old.NsPerOp,
+			NsDeltaPct: deltaPct(r.NsPerOp, old.NsPerOp),
+		}
+		if r.BytesPerOp != nil && old.BytesPerOp != nil && *old.BytesPerOp != 0 {
+			d := deltaPct(float64(*r.BytesPerOp), float64(*old.BytesPerOp))
+			b.BytesDeltaPct = &d
+		}
+		if r.AllocsPerOp != nil && old.AllocsPerOp != nil && *old.AllocsPerOp != 0 {
+			d := deltaPct(float64(*r.AllocsPerOp), float64(*old.AllocsPerOp))
+			b.AllocsDeltaPct = &d
+		}
+		r.Baseline = b
+	}
+}
+
+// benchFile matches sibling summaries eligible as an automatic baseline:
+// BENCH_<n>.json, ordered by n.
+var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// discoverBaseline finds the highest-numbered BENCH_<n>.json next to the
+// output file that is not the output file itself — the previous PR's
+// summary in this repo's naming scheme. Returns "" when there is none.
+func discoverBaseline(outPath string) string {
+	dir := filepath.Dir(outPath)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return ""
+	}
+	self := filepath.Base(outPath)
+	bestN := -1
+	best := ""
+	for _, e := range entries {
+		name := e.Name()
+		if name == self {
+			continue
+		}
+		m := benchFile.FindStringSubmatch(name)
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n > bestN {
+			bestN, best = n, filepath.Join(dir, name)
+		}
+	}
+	return best
+}
+
+// loadBaseline reads a previous summary file.
+func loadBaseline(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var prior []Result
+	if err := json.Unmarshal(data, &prior); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return prior, nil
 }
 
 // benchName matches the line prefix, e.g. "BenchmarkPeriodogram-8   1234".
@@ -77,6 +182,7 @@ func parseLine(line string) (Result, bool) {
 
 func main() {
 	out := flag.String("o", "", "write the JSON summary to this file (default stdout only)")
+	baseline := flag.String("baseline", "", "previous summary to diff against; empty auto-discovers the highest BENCH_<n>.json next to -o, 'none' disables")
 	flag.Parse()
 
 	var results []Result
@@ -95,6 +201,21 @@ func main() {
 	}
 	if *out == "" {
 		return
+	}
+	base := *baseline
+	if base == "" {
+		base = discoverBaseline(*out)
+	} else if base == "none" {
+		base = ""
+	}
+	if base != "" {
+		prior, err := loadBaseline(base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+			os.Exit(1)
+		}
+		attachBaseline(results, prior, filepath.Base(base))
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s\n", filepath.Base(base))
 	}
 	data, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	r, ok := parseLine("BenchmarkPeriodogram-8   1234   987.6 ns/op   120 B/op   3 allocs/op")
@@ -27,5 +31,54 @@ func TestParseLine(t *testing.T) {
 	}
 	if _, ok := parseLine("BenchmarkX-8  12  garbage ns/op"); ok {
 		t.Error("garbage value parsed")
+	}
+}
+
+func TestDiscoverBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_3.json", "BENCH_7.json", "BENCH_10.json", "notes.json", "BENCH_x.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("[]"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The output file itself (the highest number) must not be its own
+	// baseline; the next-highest wins, with numeric (not lexical) order.
+	if got := discoverBaseline(filepath.Join(dir, "BENCH_10.json")); got != filepath.Join(dir, "BENCH_7.json") {
+		t.Errorf("baseline for BENCH_10 = %q, want BENCH_7", got)
+	}
+	if got := discoverBaseline(filepath.Join(dir, "BENCH_11.json")); got != filepath.Join(dir, "BENCH_10.json") {
+		t.Errorf("baseline for BENCH_11 = %q, want BENCH_10", got)
+	}
+	if got := discoverBaseline(filepath.Join(t.TempDir(), "BENCH_1.json")); got != "" {
+		t.Errorf("baseline in empty dir = %q, want none", got)
+	}
+}
+
+func TestAttachBaseline(t *testing.T) {
+	i64 := func(v int64) *int64 { return &v }
+	results := []Result{
+		{Name: "BenchmarkA", NsPerOp: 150, BytesPerOp: i64(90), AllocsPerOp: i64(10)},
+		{Name: "BenchmarkNew", NsPerOp: 50},
+	}
+	prior := []Result{
+		{Name: "BenchmarkA", NsPerOp: 200, BytesPerOp: i64(100), AllocsPerOp: i64(10)},
+		{Name: "BenchmarkGone", NsPerOp: 1},
+	}
+	attachBaseline(results, prior, "BENCH_7.json")
+	b := results[0].Baseline
+	if b == nil || b.File != "BENCH_7.json" || b.NsPerOp != 200 {
+		t.Fatalf("baseline = %+v", b)
+	}
+	if b.NsDeltaPct != -25 {
+		t.Errorf("ns delta = %v, want -25", b.NsDeltaPct)
+	}
+	if b.BytesDeltaPct == nil || *b.BytesDeltaPct != -10 {
+		t.Errorf("bytes delta = %v, want -10", b.BytesDeltaPct)
+	}
+	if b.AllocsDeltaPct == nil || *b.AllocsDeltaPct != 0 {
+		t.Errorf("allocs delta = %v, want 0", b.AllocsDeltaPct)
+	}
+	if results[1].Baseline != nil {
+		t.Error("benchmark absent from the baseline must carry none")
 	}
 }

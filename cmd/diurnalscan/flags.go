@@ -15,6 +15,7 @@ import (
 // validation, plus the set of flags explicitly present on the command
 // line (a default value and an explicit one validate differently).
 type cliFlags struct {
+	workers        int
 	quorum         int
 	breaker, hedge bool
 	resumePath     string
@@ -44,6 +45,9 @@ type cliFlags struct {
 }
 
 func (f *cliFlags) validate() error {
+	if f.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (got %d)", f.workers)
+	}
 	if f.quorum < 0 {
 		return fmt.Errorf("-quorum must be >= 0 (got %d)", f.quorum)
 	}

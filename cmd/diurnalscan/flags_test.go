@@ -31,6 +31,8 @@ func TestFlagMatrix(t *testing.T) {
 		ok   bool
 	}{
 		{"defaults", base(), true},
+		{"negative workers", func() *cliFlags { f := base("workers"); f.workers = -2; return f }(), false},
+		{"explicit workers", func() *cliFlags { f := base("workers"); f.workers = 8; return f }(), true},
 		{"negative quorum", func() *cliFlags { f := base("quorum"); f.quorum = -1; return f }(), false},
 		{"hedge without breaker", func() *cliFlags { f := base("hedge"); f.hedge = true; return f }(), false},
 		{"hedge with breaker", func() *cliFlags {

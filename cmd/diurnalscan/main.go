@@ -116,6 +116,7 @@ func parseDate(s string) (int64, error) {
 
 func main() {
 	blocks := flag.Int("blocks", 1000, "number of /24 blocks to simulate")
+	workers := flag.Int("workers", 0, "analysis worker goroutines (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	observers := flag.Int("observers", 4, "probing sites (1-6)")
 	startStr := flag.String("start", "2020-01-01", "window start (UTC)")
@@ -157,6 +158,7 @@ func main() {
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	cli := &cliFlags{
+		workers:       *workers,
 		quorum:        *quorum,
 		breaker:       *breaker,
 		hedge:         *hedge,
@@ -314,6 +316,7 @@ func main() {
 		}
 	} else {
 		report, err = world.RunContext(ctx, cfg, diurnal.RunOptions{
+			Workers:        *workers,
 			CheckpointPath: *resumePath,
 			Breaker:        *breaker,
 			Hedge:          *hedge,

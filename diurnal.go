@@ -201,6 +201,11 @@ func (w *World) BlocksInRegion(code string) []int {
 // plain Run behavior: no checkpointing, no per-block deadline, default
 // transient-error retries.
 type RunOptions struct {
+	// Workers bounds analysis parallelism (default GOMAXPROCS). Each
+	// worker analyzes its blocks in small batches so their classification
+	// FFTs run as one columnar pass per batch; results are identical at
+	// any worker count.
+	Workers int
 	// CheckpointPath, when non-empty, journals completed blocks to this
 	// file; rerunning with the same path resumes after a crash, skipping
 	// every journaled block. The journal is bound to the (config, world)
@@ -247,6 +252,7 @@ func (w *World) RunContext(ctx context.Context, cfg Config, opts RunOptions) (*R
 	p := &core.Pipeline{
 		Config:       cfg,
 		Engine:       w.engine,
+		Workers:      opts.Workers,
 		BlockTimeout: opts.BlockTimeout,
 		MaxRetries:   opts.MaxRetries,
 		Quorum:       opts.Quorum,

@@ -1,0 +1,104 @@
+package blockclass
+
+import (
+	"testing"
+
+	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/reconstruct"
+)
+
+// batchSeriesSet builds a mixed population: workplaces, server farms, NAT
+// front doors, homes, an empty series, and a nil entry.
+func batchSeriesSet(t *testing.T, start, end int64) []*reconstruct.Series {
+	t.Helper()
+	specs := []netsim.Spec{
+		{Workers: 60, AlwaysOn: 6},
+		{AlwaysOn: 200},
+		{AlwaysOn: 3},
+		{Homes: 80, AlwaysOn: 4},
+		{Workers: 30, Homes: 30, Intermittent: 20},
+		{Workers: 12}, // small block: borderline swing
+	}
+	var out []*reconstruct.Series
+	for i, spec := range specs {
+		b, err := netsim.NewBlock(netsim.BlockID(100+i), uint64(900+i), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, reconstructed(t, b, start, end))
+	}
+	out = append(out, &reconstruct.Series{}, nil)
+	return out
+}
+
+// TestClassifyBatchParity demands ClassifyBatch equals per-series
+// ClassifyScratch exactly — scores, SNRs, and every decision bit — over a
+// mixed population and over windows with a trailing partial segment
+// (mixed segment lengths inside one batch).
+func TestClassifyBatchParity(t *testing.T) {
+	for _, days := range []int{28, 56, 70, 93} { // 93: trailing 9-day segment
+		start := jan6
+		end := start + int64(days)*netsim.SecondsPerDay
+		series := batchSeriesSet(t, start, end)
+		cfg := Default()
+		sc := NewScratch()
+		got, err := ClassifyBatch(series, start, end, cfg, sc)
+		if err != nil {
+			t.Fatalf("days=%d: %v", days, err)
+		}
+		if len(got) != len(series) {
+			t.Fatalf("days=%d: %d results for %d series", days, len(got), len(series))
+		}
+		sc2 := NewScratch()
+		for i, s := range series {
+			want, err := ClassifyScratch(s, start, end, cfg, sc2)
+			if err != nil {
+				t.Fatalf("days=%d series %d: %v", days, i, err)
+			}
+			if got[i] != want {
+				t.Fatalf("days=%d series %d: batch %+v, scalar %+v", days, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestClassifyBatchReuse runs batches of different shapes through one
+// scratch to check arena/job reuse does not leak state across calls.
+func TestClassifyBatchReuse(t *testing.T) {
+	start := jan6
+	end := start + 28*netsim.SecondsPerDay
+	series := batchSeriesSet(t, start, end)
+	sc := NewScratch()
+	first, err := ClassifyBatch(series, start, end, Default(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different (smaller, reordered) batch, then the original again.
+	if _, err := ClassifyBatch(series[3:5], start, end, Default(), sc); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ClassifyBatch(series, start, end, Default(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatalf("series %d: result changed across scratch reuse", i)
+		}
+	}
+}
+
+// TestClassifyBatchConfigErrors mirrors the scalar validation.
+func TestClassifyBatchConfigErrors(t *testing.T) {
+	cfg := Default()
+	cfg.MinSwingDays = 9
+	cfg.WindowDays = 7
+	if _, err := ClassifyBatch(nil, 0, 1, cfg, nil); err == nil {
+		t.Fatal("want MinSwingDays validation error")
+	}
+	cfg = Default()
+	cfg.SampleStep = 86400
+	if _, err := ClassifyBatch(nil, 0, 1, cfg, nil); err == nil {
+		t.Fatal("want SampleStep validation error")
+	}
+}

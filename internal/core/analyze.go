@@ -233,6 +233,15 @@ func (cfg Config) AnalyzeRecords(perObs [][]probe.Record, eb []int) (*BlockAnaly
 // bit-identical results to a batch run. perObs is mutated in place
 // (sanitize/repair); sc may be nil for a one-shot call.
 func (cfg Config) AnalyzeCollectedScratch(perObs [][]probe.Record, eb []int, sc *Scratch) (*BlockAnalysis, error) {
+	return cfg.analyzeCollected(perObs, eb, sc, false)
+}
+
+// analyzeCollected is AnalyzeCollectedScratch with one internal knob:
+// trustClean skips the sanitize pre-scan for streams a clean-by-
+// construction prober produced (see cleanProber). Sanitize is a no-op on
+// clean streams, so the skip is bit-identical; only the pre-scan cost
+// goes away.
+func (cfg Config) analyzeCollected(perObs [][]probe.Record, eb []int, sc *Scratch, trustClean bool) (*BlockAnalysis, error) {
 	c := cfg.withDefaults()
 	if err := c.validate(); err != nil {
 		return nil, err
@@ -244,7 +253,7 @@ func (cfg Config) AnalyzeCollectedScratch(perObs [][]probe.Record, eb []int, sc 
 		sc = NewScratch()
 	}
 	var san reconstruct.SanitizeReport
-	if c.SanitizeRecords {
+	if c.SanitizeRecords && !trustClean {
 		san = c.sanitizeStreams(perObs)
 	}
 	if c.Repair {
@@ -305,6 +314,15 @@ func (cfg Config) analyzeSeriesScratch(series *reconstruct.Series, outages []out
 	if err != nil {
 		return nil, err
 	}
+	return cfg.finishSeriesScratch(series, outages, san, cls, sc)
+}
+
+// finishSeriesScratch is the post-classification half of the per-block
+// analysis: it assembles the BlockAnalysis and, for change-sensitive
+// blocks, runs the STL/CUSUM trend stages. The batch scheduler calls it
+// directly after a batched classification pass; cfg must already be
+// defaulted and validated.
+func (cfg Config) finishSeriesScratch(series *reconstruct.Series, outages []outage.Interval, san reconstruct.SanitizeReport, cls blockclass.Result, sc *Scratch) (*BlockAnalysis, error) {
 	out := &BlockAnalysis{
 		Series:      series,
 		Class:       cls,
@@ -608,5 +626,72 @@ func (cfg Config) AnalyzeBlockScratch(ctx context.Context, eng Prober, b *netsim
 	if err != nil {
 		return nil, err
 	}
-	return c.AnalyzeCollectedScratch(sc.perObs, eb, sc)
+	return c.analyzeCollected(sc.perObs, eb, sc, proberEmitsClean(eng))
+}
+
+// preparedBlock holds the collect→reconstruct half of one block's
+// analysis between a batch's prepare phase and its shared classification
+// pass. Its series and outage intervals are freshly allocated, so they
+// survive the scratch buffers being reused for the next block's prepare.
+type preparedBlock struct {
+	series  *reconstruct.Series
+	outages []outage.Interval
+	san     reconstruct.SanitizeReport
+	// empty marks a block whose target list E(b) is empty: its analysis
+	// short-circuits to an empty Series with no classification.
+	empty bool
+}
+
+// prepareBlockScratch runs everything before classification — collection,
+// sanitization, repair, merge, reconstruction, and outage detection — for
+// one block. Pairing it with a batched classify pass and
+// finishSeriesScratch reproduces AnalyzeBlockScratch bit for bit.
+func (cfg Config) prepareBlockScratch(ctx context.Context, eng Prober, b *netsim.Block, sc *Scratch) (preparedBlock, error) {
+	c := cfg.withDefaults()
+	if err := c.validate(); err != nil {
+		return preparedBlock{}, err
+	}
+	eb := b.EverActive()
+	if len(eb) == 0 {
+		return preparedBlock{empty: true}, nil
+	}
+	if sc == nil {
+		sc = NewScratch()
+	}
+	var err error
+	sc.perObs, err = eng.CollectInto(ctx, b, c.AnalysisStart, c.AnalysisEnd, sc.perObs)
+	if err != nil {
+		return preparedBlock{}, err
+	}
+	var san reconstruct.SanitizeReport
+	if c.SanitizeRecords && !proberEmitsClean(eng) {
+		san = c.sanitizeStreams(sc.perObs)
+	}
+	if c.Repair {
+		for _, stream := range sc.perObs {
+			reconstruct.Repair1Loss(stream)
+		}
+	}
+	sc.merged = reconstruct.MergeInto(sc.merged, sc.perObs)
+	series, err := reconstruct.Reconstruct(sc.merged, eb)
+	if err != nil {
+		return preparedBlock{}, err
+	}
+	return preparedBlock{series: series, outages: c.detectOutages(sc.merged), san: san}, nil
+}
+
+// cleanProber is an optional Prober refinement: a prober whose streams
+// satisfy reconstruct.Sanitize's invariants by construction (in-window,
+// time-ordered, no repeated (time, address) pairs per round).
+// *probe.Engine implements it; wrappers that only truncate streams
+// (excludeProber, supervisedProber) forward it, while fault injectors and
+// replay readers — whose streams may be corrupt — do not.
+type cleanProber interface {
+	EmitsSanitizedRecords() bool
+}
+
+// proberEmitsClean reports whether eng guarantees sanitized streams.
+func proberEmitsClean(eng Prober) bool {
+	cp, ok := eng.(cleanProber)
+	return ok && cp.EmitsSanitizedRecords()
 }

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"github.com/diurnalnet/diurnal/internal/blockclass"
+	"github.com/diurnalnet/diurnal/internal/dataset"
+	"github.com/diurnalnet/diurnal/internal/reconstruct"
+)
+
+// The batch scheduler restructures a worker's share of the world from
+// "one block start-to-finish at a time" into three phases over a small
+// batch: prepare every block (collect→reconstruct, each with its own
+// retry/deadline/panic containment), classify the whole batch through one
+// blockclass.ClassifyBatch call — whose same-length FFT segments run as
+// columnar batched passes over shared twiddle tables — then finish and
+// deliver each block in batch order. Every per-block stage is elementwise
+// in the batched pass, so results are bit-identical to the per-block
+// path; the parity tests in batch_test.go enforce that over full worlds.
+
+// defaultBatchSize balances FFT batching gains against the memory of
+// holding that many reconstructed series per worker.
+const defaultBatchSize = 8
+
+// effectiveBatchSize resolves Pipeline.BatchSize against the features
+// that preclude batching and the admission bound.
+func (p *Pipeline) effectiveBatchSize(workers int, admit chan struct{}) int {
+	batch := p.BatchSize
+	if batch == 0 {
+		batch = defaultBatchSize
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	// Hedging and breakers both act on per-block completion latency; a
+	// worker sitting on a half-filled batch would look like a straggler
+	// and starve the health signal, so they force the per-block path.
+	if p.Hedge != nil || p.Breaker != nil {
+		return 1
+	}
+	// A worker holds up to batch admission slots while it accumulates
+	// jobs. If every worker could hold a full batch with the admission
+	// channel exhausted, the dispatcher would stall with no worker able
+	// to flush — so the batch shrinks until workers x batch fits.
+	if admit != nil && workers > 0 {
+		if max := cap(admit) / workers; max < batch {
+			batch = max
+		}
+		if batch < 1 {
+			batch = 1
+		}
+	}
+	return batch
+}
+
+// batchWorker is the batch-mode worker loop: checkpoint and dead-letter
+// short circuits resolve immediately (their results are already known),
+// everything else accumulates until the batch fills or the job channel
+// closes, then flushes through runBatch. Admission slots are released
+// only as their blocks settle, so backpressure still counts unfinished
+// work.
+func (p *Pipeline) batchWorker(ctx context.Context, eng Prober, sup *supervisedProber,
+	res *WorldResult, world []*dataset.WorldBlock, jobs <-chan int, admit chan struct{},
+	batch int, sc *Scratch, mu *sync.Mutex, journalErr *error, resumed, retried *int) {
+	pending := make([]int, 0, batch)
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		p.runBatch(ctx, eng, sup, res, world, pending, sc, mu, journalErr, retried)
+		if admit != nil {
+			for range pending {
+				<-admit
+			}
+		}
+		pending = pending[:0]
+	}
+	for i := range jobs {
+		if p.resolveWithoutAnalysis(res, i, world[i], mu, resumed) {
+			if admit != nil {
+				<-admit
+			}
+			continue
+		}
+		pending = append(pending, i)
+		if len(pending) >= batch {
+			flush()
+		}
+	}
+	flush()
+}
+
+// batchSlot carries one block through the batch's three phases.
+type batchSlot struct {
+	i        int
+	wb       *dataset.WorldBlock
+	prep     preparedBlock
+	attempts int
+	err      error
+}
+
+// runBatch analyzes one batch of blocks: per-block prepare, one batched
+// classification pass, per-block finish and delivery in batch order.
+func (p *Pipeline) runBatch(ctx context.Context, eng Prober, sup *supervisedProber,
+	res *WorldResult, world []*dataset.WorldBlock, idxs []int, sc *Scratch,
+	mu *sync.Mutex, journalErr *error, retried *int) {
+	cfg := p.Config.withDefaults()
+	slots := make([]batchSlot, len(idxs))
+	series := make([]*reconstruct.Series, len(idxs))
+	for k, i := range idxs {
+		s := &slots[k]
+		s.i, s.wb = i, world[i]
+		s.prep, s.attempts, s.err = p.prepareBlock(ctx, eng, s.wb, sc)
+		if s.err == nil && !s.prep.empty {
+			series[k] = s.prep.series
+		}
+	}
+	// One classification pass over the whole batch. A nil entry (failed
+	// or empty prepare) classifies to the zero Result, exactly as the
+	// scalar path never reaches classification for it. A panic or error
+	// here routes every block through the scalar fallback below, so a
+	// poison series is contained to its own block on the second pass.
+	cls, clsErr := p.classifyBatch(series, cfg, sc)
+	for k := range slots {
+		s := &slots[k]
+		var analysis *BlockAnalysis
+		if s.err == nil {
+			switch {
+			case s.prep.empty:
+				analysis = &BlockAnalysis{Series: &reconstruct.Series{}}
+			case clsErr != nil:
+				analysis, s.err = p.finishFallback(cfg, s.prep, sc)
+			default:
+				analysis, s.err = p.finishPrepared(cfg, s.prep, cls[k], sc)
+			}
+		}
+		p.deliverOutcome(ctx, sup, res, s.i, s.wb, analysis, s.attempts, s.err, mu, journalErr, retried)
+	}
+}
+
+// classifyBatch wraps the batched classification with panic containment:
+// a panic is reported as an error, which sends the batch down the
+// per-block fallback path rather than killing the worker.
+func (p *Pipeline) classifyBatch(series []*reconstruct.Series, cfg Config, sc *Scratch) (cls []blockclass.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			cls, err = nil, fmt.Errorf("batched classify panic: %v", r)
+		}
+	}()
+	return blockclass.ClassifyBatch(series, cfg.BaselineStart, cfg.BaselineEnd, cfg.Class, sc.class)
+}
+
+// prepareBlock runs one block's prepare phase with the same retry,
+// deadline, and panic containment analyzeBlock gives a full analysis.
+func (p *Pipeline) prepareBlock(ctx context.Context, eng Prober, wb *dataset.WorldBlock, sc *Scratch) (prep preparedBlock, attempts int, err error) {
+	retries := p.MaxRetries
+	switch {
+	case retries == 0:
+		retries = 2
+	case retries < 0:
+		retries = 0
+	}
+	backoff := p.RetryBackoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	for {
+		attempts++
+		prep, err = p.prepareOnce(ctx, eng, wb, sc)
+		if err == nil || !IsTransient(err) || attempts > retries || ctx.Err() != nil {
+			return prep, attempts, err
+		}
+		select {
+		case <-ctx.Done():
+			return preparedBlock{}, attempts, ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// prepareOnce is a single prepare attempt under the per-block deadline,
+// converting a panic into a PanicError.
+func (p *Pipeline) prepareOnce(ctx context.Context, eng Prober, wb *dataset.WorldBlock, sc *Scratch) (prep preparedBlock, err error) {
+	if p.BlockTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.BlockTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			prep, err = preparedBlock{}, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return p.Config.prepareBlockScratch(ctx, eng, wb.Block, sc)
+}
+
+// finishPrepared runs the post-classification stages for one block with
+// panic containment, so a block whose trend analysis panics becomes its
+// own BlockError without poisoning its batchmates.
+func (p *Pipeline) finishPrepared(cfg Config, prep preparedBlock, cls blockclass.Result, sc *Scratch) (a *BlockAnalysis, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			a, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return cfg.finishSeriesScratch(prep.series, prep.outages, prep.san, cls, sc)
+}
+
+// finishFallback is the scalar classify-and-finish path used when the
+// batched classification pass failed: each block reruns classification on
+// its own, so a per-block error (or panic) lands on the block that caused
+// it — matching what the per-block path would have reported.
+func (p *Pipeline) finishFallback(cfg Config, prep preparedBlock, sc *Scratch) (a *BlockAnalysis, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			a, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return cfg.analyzeSeriesScratch(prep.series, prep.outages, prep.san, sc)
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/diurnalnet/diurnal/internal/dataset"
+	"github.com/diurnalnet/diurnal/internal/faults"
+	"github.com/diurnalnet/diurnal/internal/netsim"
+)
+
+// floatsSame compares float slices bitwise, so NaN gap markers compare
+// equal to themselves instead of poisoning the parity check.
+func floatsSame(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// analysesSame is bit-level equality over two BlockAnalysis values.
+func analysesSame(a, b *BlockAnalysis) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if (a.Series == nil) != (b.Series == nil) {
+		return false
+	}
+	if a.Series != nil {
+		if !reflect.DeepEqual(a.Series.Times, b.Series.Times) || !floatsSame(a.Series.Counts, b.Series.Counts) {
+			return false
+		}
+	}
+	return a.Class == b.Class &&
+		floatsSame(a.Resampled, b.Resampled) &&
+		floatsSame(a.Trend, b.Trend) &&
+		floatsSame(a.Seasonal, b.Seasonal) &&
+		floatsSame(a.Normalized, b.Normalized) &&
+		reflect.DeepEqual(a.Changes, b.Changes) &&
+		reflect.DeepEqual(a.OutagePairs, b.OutagePairs) &&
+		reflect.DeepEqual(a.LowConfChanges, b.LowConfChanges) &&
+		reflect.DeepEqual(a.Confidence, b.Confidence) &&
+		a.Sanitize == b.Sanitize &&
+		reflect.DeepEqual(a.Outages, b.Outages) &&
+		a.SampleStart == b.SampleStart &&
+		a.SampleStep == b.SampleStep
+}
+
+// requireRunParity runs the pipeline per-block and batched and demands
+// bit-identical outcomes, reports, and world aggregates.
+func requireRunParity(t *testing.T, mk func(batchSize int) *Pipeline, world []*dataset.WorldBlock) {
+	t.Helper()
+	scalar, errS := mk(1).Run(context.Background(), world)
+	batched, errB := mk(8).Run(context.Background(), world)
+	if (errS == nil) != (errB == nil) {
+		t.Fatalf("error divergence: scalar %v, batched %v", errS, errB)
+	}
+	if scalar == nil || batched == nil {
+		return
+	}
+	if len(scalar.Blocks) != len(batched.Blocks) {
+		t.Fatalf("block count %d vs %d", len(scalar.Blocks), len(batched.Blocks))
+	}
+	for i := range scalar.Blocks {
+		s, b := &scalar.Blocks[i], &batched.Blocks[i]
+		if s.ID != b.ID || s.Place != b.Place || s.Observers != b.Observers {
+			t.Fatalf("block %d outcome metadata differs: %+v vs %+v", i, s, b)
+		}
+		if !analysesSame(s.Analysis, b.Analysis) {
+			t.Fatalf("block %d analysis differs between per-block and batched runs", i)
+		}
+	}
+	rs, rb := scalar.Report, batched.Report
+	if rs.AnalyzedBlocks != rb.AnalyzedBlocks {
+		t.Fatalf("AnalyzedBlocks %d vs %d", rs.AnalyzedBlocks, rb.AnalyzedBlocks)
+	}
+	if len(rs.BlockErrors) != len(rb.BlockErrors) {
+		t.Fatalf("BlockErrors %d vs %d", len(rs.BlockErrors), len(rb.BlockErrors))
+	}
+	for i := range rs.BlockErrors {
+		if rs.BlockErrors[i].Index != rb.BlockErrors[i].Index || rs.BlockErrors[i].ID != rb.BlockErrors[i].ID {
+			t.Fatalf("BlockErrors[%d] differs: %+v vs %+v", i, rs.BlockErrors[i], rb.BlockErrors[i])
+		}
+	}
+	if len(rs.DeadLettered) != len(rb.DeadLettered) {
+		t.Fatalf("DeadLettered %d vs %d", len(rs.DeadLettered), len(rb.DeadLettered))
+	}
+	for i := range rs.DeadLettered {
+		if rs.DeadLettered[i].Index != rb.DeadLettered[i].Index {
+			t.Fatalf("DeadLettered[%d] differs", i)
+		}
+	}
+	if !reflect.DeepEqual(rs.QuorumShortfalls, rb.QuorumShortfalls) {
+		t.Fatalf("QuorumShortfalls %v vs %v", rs.QuorumShortfalls, rb.QuorumShortfalls)
+	}
+	if !reflect.DeepEqual(scalar.CellCS, batched.CellCS) ||
+		!reflect.DeepEqual(scalar.ContinentCS, batched.ContinentCS) ||
+		!reflect.DeepEqual(scalar.DownDaily, batched.DownDaily) ||
+		!reflect.DeepEqual(scalar.UpDaily, batched.UpDaily) {
+		t.Fatal("world aggregates differ between per-block and batched runs")
+	}
+}
+
+// TestBatchRunParityCleanWorld checks the batched scheduler is bit
+// identical to the per-block path over a full simulated world on the
+// clean engine, across worker counts (including racy multi-worker runs —
+// this is the test CI drives under the race detector).
+func TestBatchRunParityCleanWorld(t *testing.T) {
+	world := smallWorld(t, 36, 91)
+	for _, workers := range []int{1, 4} {
+		mk := func(batch int) *Pipeline {
+			return &Pipeline{Config: q1Config(), Engine: engine4(), Workers: workers, BatchSize: batch}
+		}
+		requireRunParity(t, mk, world)
+	}
+}
+
+// TestBatchRunParityFaultyWorld injects observer downtime, clock skew,
+// corruption, and flaky collects — producing sanitize activity and
+// NaN-bearing measurement gaps — and demands parity still holds. The
+// faulty engine does not advertise clean streams, so this also covers the
+// sanitize-enabled prepare path.
+func TestBatchRunParityFaultyWorld(t *testing.T) {
+	world := smallWorld(t, 30, 92)
+	mk := func(batch int) *Pipeline {
+		eng := engine4()
+		plan := faults.DefaultPlan(len(eng.Observers), 1, q1Start, 17)
+		return &Pipeline{
+			Config:    q1Config(),
+			Engine:    &faults.Engine{Inner: eng, Plan: plan},
+			Workers:   2,
+			BatchSize: batch,
+		}
+	}
+	requireRunParity(t, mk, world)
+}
+
+// memDeadLetters is an in-memory DeadLetterer for parity tests.
+type memDeadLetters struct {
+	mu sync.Mutex
+	m  map[netsim.BlockID]string
+}
+
+func (d *memDeadLetters) Lookup(index int, id netsim.BlockID) (string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.m[id]
+	return r, ok
+}
+
+func (d *memDeadLetters) Record(index int, id netsim.BlockID, err error) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.m == nil {
+		d.m = map[netsim.BlockID]string{}
+	}
+	if _, ok := d.m[id]; !ok {
+		d.m[id] = err.Error()
+	}
+	return nil
+}
+
+// TestBatchRunParityPoisonDeadLetter mixes panicking poison blocks into
+// the world with a dead-letter quarantine attached: the batched prepare
+// phase must contain each panic to its own block and dead-letter exactly
+// the blocks the per-block path does.
+func TestBatchRunParityPoisonDeadLetter(t *testing.T) {
+	world := smallWorld(t, 30, 93)
+	mk := func(batch int) *Pipeline {
+		eng := engine4()
+		return &Pipeline{
+			Config: q1Config(),
+			Engine: &faults.Engine{
+				Inner: eng,
+				Plan:  &faults.Plan{Seed: 5, Poison: &faults.Poison{Prob: 0.2}},
+			},
+			Workers:    2,
+			BatchSize:  batch,
+			MaxRetries: -1,
+			DeadLetter: &memDeadLetters{},
+		}
+	}
+	requireRunParity(t, mk, world)
+}
+
+// TestBatchRunParityQuorumInflight runs batching with observer quorum
+// tracking and a tight admission bound, checking the batch size clamps
+// instead of deadlocking and the supervised commit path stays identical.
+func TestBatchRunParityQuorumInflight(t *testing.T) {
+	world := smallWorld(t, 24, 94)
+	mk := func(batch int) *Pipeline {
+		return &Pipeline{
+			Config:      q1Config(),
+			Engine:      engine4(),
+			Workers:     2,
+			BatchSize:   batch,
+			Quorum:      2,
+			MaxInflight: 3, // < workers x batch: forces the clamp
+		}
+	}
+	requireRunParity(t, mk, world)
+}
+
+// TestEffectiveBatchSize pins the gating rules: defaulting, hedge/breaker
+// fallback to per-block, and the admission clamp.
+func TestEffectiveBatchSize(t *testing.T) {
+	p := &Pipeline{}
+	if got := p.effectiveBatchSize(4, nil); got != defaultBatchSize {
+		t.Fatalf("default batch = %d, want %d", got, defaultBatchSize)
+	}
+	p = &Pipeline{BatchSize: -3}
+	if got := p.effectiveBatchSize(4, nil); got != 1 {
+		t.Fatalf("negative batch = %d, want 1", got)
+	}
+	p = &Pipeline{BatchSize: 16}
+	admit := make(chan struct{}, 8)
+	if got := p.effectiveBatchSize(4, admit); got != 2 {
+		t.Fatalf("clamped batch = %d, want 2", got)
+	}
+	tiny := make(chan struct{}, 1)
+	if got := p.effectiveBatchSize(4, tiny); got != 1 {
+		t.Fatalf("tiny admission batch = %d, want 1", got)
+	}
+}

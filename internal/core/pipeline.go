@@ -156,6 +156,15 @@ type Pipeline struct {
 	Engine Prober
 	// Workers bounds parallelism (default GOMAXPROCS).
 	Workers int
+	// BatchSize groups each worker's blocks so their classification FFTs
+	// run as batched same-length columnar passes (internal/dsp.BatchPlan)
+	// instead of one transform at a time. Zero means the default of 8;
+	// one (or negative) keeps the per-block path. Results are bit
+	// identical either way. Batching turns itself off when hedging or
+	// breakers are configured — both judge per-block latency, which
+	// batching deliberately trades away — and shrinks so that
+	// workers x batch never exceeds the admission bound (see MaxInflight).
+	BatchSize int
 	// ExcludeSuspects enables the §2.7 cross-observer health check: reply
 	// rates are sampled over up to HealthSample blocks and observers
 	// flagged by reconstruct.ObserverHealth.Suspect have their streams
@@ -330,6 +339,7 @@ func (p *Pipeline) Run(ctx context.Context, world []*dataset.WorldBlock) (*World
 		resumed    int
 		retried    int
 	)
+	batch := p.effectiveBatchSize(workers, admit)
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -339,6 +349,11 @@ func (p *Pipeline) Run(ctx context.Context, world []*dataset.WorldBlock) (*World
 			// locks, and the FFT-plan/workspace caches stay warm for the
 			// worker's whole share of the world.
 			sc := NewScratch()
+			if batch > 1 {
+				p.batchWorker(ctx, eng, sup, res, world, jobs, admit, batch, sc,
+					&mu, &journalErr, &resumed, &retried)
+				return
+			}
 			for i := range jobs {
 				wb := world[i]
 				p.runBlock(ctx, eng, sup, hed, res, i, wb, sc, &mu, &journalErr, &resumed, &retried)
@@ -424,13 +439,34 @@ dispatch:
 func (p *Pipeline) runBlock(ctx context.Context, eng Prober, sup *supervisedProber, hed *hedger,
 	res *WorldResult, i int, wb *dataset.WorldBlock, sc *Scratch,
 	mu *sync.Mutex, journalErr *error, resumed, retried *int) {
+	if p.resolveWithoutAnalysis(res, i, wb, mu, resumed) {
+		return
+	}
+	var (
+		analysis *BlockAnalysis
+		attempts int
+		err      error
+	)
+	if hed != nil {
+		analysis, attempts, err = hed.run(ctx, i, wb, sc)
+	} else {
+		analysis, attempts, err = p.analyzeBlock(ctx, eng, wb, sc)
+	}
+	p.deliverOutcome(ctx, sup, res, i, wb, analysis, attempts, err, mu, journalErr, retried)
+}
+
+// resolveWithoutAnalysis handles the two pre-analysis short circuits —
+// checkpoint restore and dead-letter skip — and reports whether the block
+// is settled without analyzing it.
+func (p *Pipeline) resolveWithoutAnalysis(res *WorldResult, i int, wb *dataset.WorldBlock,
+	mu *sync.Mutex, resumed *int) bool {
 	if p.Checkpoint != nil {
 		if prior, ok := p.Checkpoint.Lookup(i, wb.ID); ok {
 			res.Blocks[i] = *prior
 			mu.Lock()
 			*resumed++
 			mu.Unlock()
-			return
+			return true
 		}
 	}
 	// A block already dead-lettered (by this run's earlier life, or by
@@ -443,19 +479,19 @@ func (p *Pipeline) runBlock(ctx context.Context, eng Prober, sup *supervisedProb
 				BlockError{Index: i, ID: wb.ID, Err: fmt.Errorf("%s", reason)})
 			mu.Unlock()
 			res.Blocks[i] = BlockOutcome{ID: wb.ID, Place: wb.Place}
-			return
+			return true
 		}
 	}
-	var (
-		analysis *BlockAnalysis
-		attempts int
-		err      error
-	)
-	if hed != nil {
-		analysis, attempts, err = hed.run(ctx, i, wb, sc)
-	} else {
-		analysis, attempts, err = p.analyzeBlock(ctx, eng, wb, sc)
-	}
+	return false
+}
+
+// deliverOutcome lands one analyzed (or failed) block: the retried tally,
+// the error path (supervision discard, dead-lettering, BlockError), or the
+// success path (health commit, result slot, exactly-once journal append).
+// Both the per-block worker and the batch scheduler funnel through it.
+func (p *Pipeline) deliverOutcome(ctx context.Context, sup *supervisedProber, res *WorldResult,
+	i int, wb *dataset.WorldBlock, analysis *BlockAnalysis, attempts int, err error,
+	mu *sync.Mutex, journalErr *error, retried *int) {
 	if attempts > 1 {
 		mu.Lock()
 		*retried++
@@ -638,6 +674,10 @@ func (p *excludeProber) CollectInto(ctx context.Context, b *netsim.Block, start,
 	}
 	return bufs, nil
 }
+
+// EmitsSanitizedRecords forwards the inner prober's cleanliness guarantee:
+// truncating a stream to empty cannot dirty it.
+func (p *excludeProber) EmitsSanitizedRecords() bool { return proberEmitsClean(p.inner) }
 
 // Reaggregate rebuilds every world-level tally (cells, daily up/down
 // counts, change-sensitive totals, AnalyzedBlocks) from Blocks alone. The

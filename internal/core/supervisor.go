@@ -73,6 +73,10 @@ func (s *supervisedProber) CollectInto(ctx context.Context, b *netsim.Block, sta
 	return bufs, nil
 }
 
+// EmitsSanitizedRecords forwards the inner prober's cleanliness guarantee:
+// breaker drops only truncate streams, which cannot dirty them.
+func (s *supervisedProber) EmitsSanitizedRecords() bool { return proberEmitsClean(s.inner) }
+
 // commit consumes the block's pending observation, feeds it to the
 // tracker, and returns the contributing-observer count (-1 when no
 // collection for the block was seen, e.g. a resumed block).

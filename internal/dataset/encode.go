@@ -115,6 +115,87 @@ func WriteRecords(w io.Writer, records []probe.Record) error {
 	return bw.Flush()
 }
 
+// DecodeRecordsBytes decodes an observation log held entirely in memory —
+// the zero-copy path for mmap'd store files. Semantics match ReadRecords:
+// the same structure is decoded, the CRC32C trailer is verified, and
+// trailing bytes are rejected, with every failure wrapping ErrCorruptLog.
+// Unlike the streaming reader, the checksum is computed in one pass over
+// the raw bytes (hardware CRC32C) instead of per byte through a reader
+// shim, and no intermediate buffering is allocated.
+func DecodeRecordsBytes(data []byte) ([]probe.Record, error) {
+	return appendRecordsBytes(nil, data, false, 0, 0)
+}
+
+// AppendRecordsBytes decodes a log from memory, appending only records
+// with start <= T < end to buf — the replay prober's collection path,
+// which decodes straight from the mapped file into the caller's reusable
+// buffer with no intermediate record slice. Verification is identical to
+// DecodeRecordsBytes.
+func AppendRecordsBytes(buf []probe.Record, data []byte, start, end int64) ([]probe.Record, error) {
+	return appendRecordsBytes(buf, data, true, start, end)
+}
+
+func appendRecordsBytes(buf []probe.Record, data []byte, clip bool, start, end int64) ([]probe.Record, error) {
+	if len(data) < len(logMagic) {
+		return buf, fmt.Errorf("dataset: reading magic: truncated log: %w", ErrCorruptLog)
+	}
+	if string(data[:len(logMagic)]) != logMagic {
+		return buf, fmt.Errorf("dataset: bad magic %q: %w", data[:len(logMagic)], ErrCorruptLog)
+	}
+	off := len(logMagic)
+	count, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return buf, fmt.Errorf("dataset: reading count: truncated log: %w", ErrCorruptLog)
+	}
+	off += n
+	const maxRecords = 1 << 30
+	if count > maxRecords {
+		return buf, fmt.Errorf("dataset: implausible record count %d: %w", count, ErrCorruptLog)
+	}
+	var prev int64
+	if count > 0 {
+		prev, n = binary.Varint(data[off:])
+		if n <= 0 {
+			return buf, fmt.Errorf("dataset: reading base time: truncated log: %w", ErrCorruptLog)
+		}
+		off += n
+	}
+	if !clip {
+		buf = make([]probe.Record, 0, count)
+	}
+	for i := uint64(0); i < count; i++ {
+		delta, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return buf, fmt.Errorf("dataset: record %d delta: truncated log: %w", i, ErrCorruptLog)
+		}
+		off += n
+		if off+2 > len(data) {
+			return buf, fmt.Errorf("dataset: record %d payload: truncated log: %w", i, ErrCorruptLog)
+		}
+		addr, up := data[off], data[off+1]
+		off += 2
+		if up > 1 {
+			return buf, fmt.Errorf("dataset: record %d has invalid up flag %d: %w", i, up, ErrCorruptLog)
+		}
+		prev += int64(delta)
+		if clip && (prev < start || prev >= end) {
+			continue
+		}
+		buf = append(buf, probe.Record{T: prev, Addr: addr, Up: up == 1})
+	}
+	if off+4 > len(data) {
+		return buf, fmt.Errorf("dataset: reading checksum: truncated log: %w", ErrCorruptLog)
+	}
+	got := binary.LittleEndian.Uint32(data[off : off+4])
+	if want := crc32.Checksum(data[:off], castagnoli); got != want {
+		return buf, fmt.Errorf("dataset: checksum mismatch: stored %08x, computed %08x: %w", got, want, ErrCorruptLog)
+	}
+	if off+4 != len(data) {
+		return buf, fmt.Errorf("dataset: trailing bytes after checksum: %w", ErrCorruptLog)
+	}
+	return buf, nil
+}
+
 // ReadRecords decodes a log written by WriteRecords, verifying its CRC32C
 // trailer and rejecting trailing bytes. Any structural failure (bad
 // magic, truncation, checksum mismatch, appended garbage) is reported as

@@ -1,0 +1,32 @@
+//go:build linux && !diurnal_nommap
+
+package dataset
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps f read-only into memory and returns the view with its
+// release function. The file descriptor can be closed immediately after
+// mapping — the mapping keeps the pages alive — so a store holds no fds
+// open per log, only address space. An empty file maps to a nil view
+// (mmap of length 0 is an error on Linux).
+func mapFile(f *os.File) (data []byte, release func() error, err error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if int64(int(size)) != size {
+		return nil, nil, syscall.EFBIG
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,25 @@
+//go:build !linux || diurnal_nommap
+
+package dataset
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile is the portable fallback for platforms (or builds tagged
+// diurnal_nommap) without the mmap fast path: it reads the whole file
+// into memory through ReadAt-style sequential IO. The returned view obeys
+// the same contract as the mmap version — immutable bytes plus a release
+// function — so every caller is build-tag agnostic.
+func mapFile(f *os.File) (data []byte, release func() error, err error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	data = make([]byte, st.Size())
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -11,7 +11,9 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
+	"github.com/diurnalnet/diurnal/internal/dsp"
 	"github.com/diurnalnet/diurnal/internal/netsim"
 	"github.com/diurnalnet/diurnal/internal/probe"
 )
@@ -25,8 +27,64 @@ import (
 // place, so a crash mid-archive never leaves a half-written log under its
 // final name; each log carries a CRC32C trailer so bytes damaged after
 // the fact are detected on read. Verify is the matching fsck.
+//
+// Reads go through memory-mapped views of the log files (a portable
+// read-into-memory fallback serves non-Linux platforms and builds tagged
+// diurnal_nommap), decoded zero-copy by DecodeRecordsBytes: no per-log
+// open fd is held after mapping and no bufio shim sits between the bytes
+// and the varint decoder. Mappings are cached per log and released by
+// Close. A Store is safe for concurrent readers.
 type Store struct {
 	dir string
+
+	mu   sync.Mutex
+	maps map[string]*mappedLog
+}
+
+// mappedLog is one cached log view with its release function.
+type mappedLog struct {
+	data    []byte
+	release func() error
+}
+
+// logData returns the (possibly cached) in-memory view of one log file.
+func (s *Store) logData(name string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.maps == nil {
+		s.maps = map[string]*mappedLog{}
+	}
+	if m, ok := s.maps[name]; ok {
+		return m.data, nil
+	}
+	f, err := os.Open(filepath.Join(s.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	data, release, err := mapFile(f)
+	f.Close() // the mapping (or copied buffer) outlives the fd
+	if err != nil {
+		return nil, err
+	}
+	s.maps[name] = &mappedLog{data: data, release: release}
+	return data, nil
+}
+
+// Close releases every mapped log view. The store remains usable — a
+// later read simply re-maps — so Close is a resource checkpoint, not a
+// terminal state. Views handed out earlier must not be used after Close.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	maps := s.maps
+	s.maps = nil
+	s.mu.Unlock()
+	var first error
+	for _, m := range maps {
+		if err := m.release(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // ErrNotStore reports that a directory is not a dataset store (no
@@ -183,12 +241,11 @@ func (s *Store) loadBlockIdx(idx *storeIndex, id netsim.BlockID) (perObs [][]pro
 		return nil, nil, fmt.Errorf("dataset: block %v not in store", id)
 	}
 	for oi := 0; oi < len(idx.Sites); oi++ {
-		f, err := os.Open(filepath.Join(s.dir, logName(id, oi)))
+		data, err := s.logData(logName(id, oi))
 		if err != nil {
 			return nil, nil, fmt.Errorf("dataset: block %v obs %d: %w", id, oi, err)
 		}
-		records, err := ReadRecords(bufio.NewReader(f))
-		f.Close()
+		records, err := DecodeRecordsBytes(data)
 		if err != nil {
 			return nil, nil, fmt.Errorf("dataset: block %v obs %d: %w", id, oi, err)
 		}
@@ -341,25 +398,86 @@ func (p *ReplayProber) Observers() int { return len(p.idx.Sites) }
 
 // CollectInto loads the block's archived streams, clipping records to
 // [start, end). The bufs contract matches probe.Engine.CollectInto.
+// Decoding runs straight from the store's mapped log bytes into bufs —
+// no intermediate per-log record slice is materialized.
 func (p *ReplayProber) CollectInto(ctx context.Context, b *netsim.Block, start, end int64, bufs [][]probe.Record) ([][]probe.Record, error) {
 	if err := ctx.Err(); err != nil {
 		return bufs, err
 	}
-	perObs, _, err := p.store.loadBlockIdx(p.idx, b.ID)
-	if err != nil {
-		return bufs, err
+	found := false
+	for _, be := range p.idx.Blocks {
+		if netsim.BlockID(be.ID) == b.ID {
+			found = true
+			break
+		}
 	}
-	for len(bufs) < len(perObs) {
+	if !found {
+		return bufs, fmt.Errorf("dataset: block %v not in store", b.ID)
+	}
+	nObs := len(p.idx.Sites)
+	for len(bufs) < nObs {
 		bufs = append(bufs, nil)
 	}
-	bufs = bufs[:len(perObs)]
-	for i, records := range perObs {
-		bufs[i] = bufs[i][:0]
-		for _, r := range records {
-			if r.T >= start && r.T < end {
-				bufs[i] = append(bufs[i], r)
-			}
+	bufs = bufs[:nObs]
+	for oi := 0; oi < nObs; oi++ {
+		data, err := p.store.logData(logName(b.ID, oi))
+		if err != nil {
+			return bufs, fmt.Errorf("dataset: block %v obs %d: %w", b.ID, oi, err)
+		}
+		bufs[oi], err = AppendRecordsBytes(bufs[oi][:0], data, start, end)
+		if err != nil {
+			return bufs, fmt.Errorf("dataset: block %v obs %d: %w", b.ID, oi, err)
 		}
 	}
 	return bufs, nil
+}
+
+// BatchClass is one group of a size-classed iteration: the indices whose
+// blocks share a padded FFT butterfly length (dsp.PaddedRealLen) and can
+// therefore run through one batched transform pass.
+type BatchClass struct {
+	PaddedLen int
+	Indices   []int
+}
+
+// BatchClasses partitions indices 0..n-1 into classes by the padded FFT
+// length lenOf reports for each index, preserving ascending index order
+// inside every class and first-seen order across classes — the iteration
+// order a batch scheduler feeds to the columnar FFT passes.
+func BatchClasses(n int, lenOf func(i int) int) []BatchClass {
+	byLen := map[int]int{} // padded length -> position in out
+	var out []BatchClass
+	for i := 0; i < n; i++ {
+		pl := lenOf(i)
+		pos, ok := byLen[pl]
+		if !ok {
+			pos = len(out)
+			byLen[pl] = pos
+			out = append(out, BatchClass{PaddedLen: pl})
+		}
+		out[pos].Indices = append(out[pos].Indices, i)
+	}
+	return out
+}
+
+// BlockClasses is the store's columnar iterator: it groups the manifest's
+// blocks by the padded FFT length of their full-window resample at
+// sampleStep resolution, so a replay analysis can hand each class to the
+// batched FFT machinery as same-length columns. Indices in the returned
+// classes refer to the returned ID slice (manifest order).
+func (s *Store) BlockClasses(sampleStep int64) ([]BatchClass, []netsim.BlockID, error) {
+	idx, err := s.readIndex()
+	if err != nil {
+		return nil, nil, err
+	}
+	if sampleStep <= 0 {
+		return nil, nil, fmt.Errorf("dataset: non-positive sample step %d", sampleStep)
+	}
+	ids := make([]netsim.BlockID, len(idx.Blocks))
+	for i, b := range idx.Blocks {
+		ids[i] = netsim.BlockID(b.ID)
+	}
+	samples := int((idx.End - idx.Start + sampleStep - 1) / sampleStep)
+	classes := BatchClasses(len(ids), func(int) int { return dsp.PaddedRealLen(samples) })
+	return classes, ids, nil
 }

@@ -1,0 +1,256 @@
+package dsp
+
+// Batched real-input FFTs: a BatchPlan executes N same-length transforms
+// as one pass over a contiguous columnar matrix instead of N scalar
+// passes. The butterflies of a radix-2 FFT are elementwise per transform
+// — lane r's value at bin j never feeds lane s — so interleaving the
+// lanes preserves each transform's operation order exactly, and every
+// column of the batch is bit-identical to what the scalar RealPlan would
+// have produced for that series (batch_test.go holds the contract, down
+// to the last ULP, for even, odd, power-of-two and Bluestein lengths).
+//
+// The win is cache behaviour, not arithmetic count: the twiddle factor
+// and bit-reversal index of each butterfly are loaded once and applied to
+// every lane while the matrix row sits in cache, where the scalar loop
+// reloads the same tables once per series. The inner lane loops are
+// unrolled 4 wide to keep the FLOP pipeline fed.
+//
+// Matrix layout is columnar: element (bin j, lane r) lives at j*width+r,
+// so one butterfly touches two contiguous rows. A BatchPlan shares the
+// twiddle and permutation tables of the RealPlan it was built from and
+// owns only the matrix work buffers; like the scalar plans it is NOT safe
+// for concurrent use.
+
+// BatchPlan executes same-length real-input transforms over many series
+// at once. Build one per (length) via NewBatchPlan; the batch width is
+// chosen per call and the work matrices grow to the widest batch seen.
+type BatchPlan struct {
+	rp *RealPlan
+
+	zm   []complex128 // packed input matrix, half (or full) rows × width
+	wm   []complex128 // Bluestein convolution matrix, m rows × width
+	wm2  []complex128 // Bluestein convolution matrix for the half plan
+	full []complex128 // odd-length full-spectrum matrix
+}
+
+// NewBatchPlan wraps an existing real-input plan for batched execution,
+// sharing its twiddle, permutation, and chirp tables.
+func NewBatchPlan(rp *RealPlan) *BatchPlan { return &BatchPlan{rp: rp} }
+
+// Len returns the per-series length the plan transforms.
+func (bp *BatchPlan) Len() int { return bp.rp.n }
+
+// PaddedRealLen reports the power-of-two butterfly length a real-input
+// transform of n samples ultimately executes: the half-length complex
+// size for even n (Bluestein-padded when that half is not a power of
+// two), or the Bluestein padding of n itself for odd n. Two series with
+// equal PaddedRealLen share every plan table, so it is the batching size
+// class — the shard iterators (dataset.BlockClasses) and the pipeline's
+// batch scheduler group work by it.
+func PaddedRealLen(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	if n%2 == 0 {
+		return paddedComplexLen(n / 2)
+	}
+	return paddedComplexLen(n)
+}
+
+// paddedComplexLen is the power-of-two length a complex transform of n
+// points executes: n itself when it is a power of two, else the Bluestein
+// convolution length (first power of two >= 2n-1).
+func paddedComplexLen(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	if n&(n-1) == 0 {
+		return n
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	return m
+}
+
+// HalfSpectra computes, for each of the w series xs[r] (all of length
+// Len()), spectrum bins 0..n/2 of the DFT of (xs[r] - shifts[r]), exactly
+// as RealPlan.HalfSpectrum would per series. The result is written
+// columnar into dst: bin k of lane r lands at dst[k*w+r], and dst must
+// have length (n/2+1)*w.
+func (bp *BatchPlan) HalfSpectra(dst []complex128, xs [][]float64, shifts []float64) {
+	n := bp.rp.n
+	w := len(xs)
+	if n == 0 || w == 0 {
+		return
+	}
+	if bp.rp.full != nil { // odd length: batched full complex transform
+		bp.zm = growC(bp.zm, n*w)
+		for r, x := range xs {
+			shift := shifts[r]
+			for i, v := range x {
+				bp.zm[i*w+r] = complex(v-shift, 0)
+			}
+		}
+		bp.full = growC(bp.full, n*w)
+		bp.transformBatch(bp.full, bp.zm, w, bp.rp.full)
+		copy(dst, bp.full[:(n/2+1)*w])
+		return
+	}
+	h := n / 2
+	// Pack: lane r's row j is (x[2j]-shift) + i*(x[2j+1]-shift), exactly
+	// the scalar packing, written columnar.
+	bp.zm = growC(bp.zm, h*w)
+	for r, x := range xs {
+		shift := shifts[r]
+		for j := 0; j < h; j++ {
+			bp.zm[j*w+r] = complex(x[2*j]-shift, x[2*j+1]-shift)
+		}
+	}
+	bp.transformBatchInPlace(bp.zm, w, bp.rp.half)
+	// Unpack via real-input conjugate symmetry, per lane, same formulas
+	// and order as the scalar path.
+	wr := bp.rp.wr
+	for r := 0; r < w; r++ {
+		z0 := bp.zm[r]
+		dst[r] = complex(real(z0)+imag(z0), 0)
+		dst[h*w+r] = complex(real(z0)-imag(z0), 0)
+	}
+	for k := 1; k < h; k++ {
+		wk := wr[k]
+		row := bp.zm[k*w:]
+		conjRow := bp.zm[(h-k)*w:]
+		out := dst[k*w:]
+		for r := 0; r < w; r++ {
+			zk := row[r]
+			zc := conjCmplx(conjRow[r])
+			fe := (zk + zc) * 0.5
+			fo := (zk - zc) * complex(0, -0.5)
+			out[r] = fe + wk*fo
+		}
+	}
+}
+
+func conjCmplx(z complex128) complex128 { return complex(real(z), -imag(z)) }
+
+// transformBatch computes the forward DFT of each lane of src into dst
+// (both columnar, p.Len() rows × w lanes), mirroring Plan.transform.
+func (bp *BatchPlan) transformBatch(dst, src []complex128, w int, p *Plan) {
+	n := p.n
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		copy(dst[:w], src[:w])
+		return
+	}
+	if p.sub == nil { // power of two
+		copy(dst[:n*w], src[:n*w])
+		batchButterflies(dst, w, p, false)
+		return
+	}
+	bp.wm = bp.bluesteinBatch(bp.wm, dst, src, w, p)
+}
+
+// transformBatchInPlace transforms each lane of m in place.
+func (bp *BatchPlan) transformBatchInPlace(m []complex128, w int, p *Plan) {
+	n := p.n
+	if n <= 1 {
+		return
+	}
+	if p.sub == nil {
+		batchButterflies(m, w, p, false)
+		return
+	}
+	bp.wm2 = bp.bluesteinBatch(bp.wm2, m, m, w, p)
+}
+
+// bluesteinBatch runs the chirp-z convolution for every lane at once:
+// chirp multiply, zero-pad, one batched forward pass of the padded
+// power-of-two subplan, pointwise filter multiply, one batched inverse
+// pass, and the final chirp-and-scale — each step elementwise per lane,
+// so each lane reproduces Plan.transform's Bluestein arithmetic exactly.
+// work is the reusable m-row matrix, returned for reuse.
+func (bp *BatchPlan) bluesteinBatch(work, dst, src []complex128, w int, p *Plan) []complex128 {
+	n := p.n
+	chirp, bspec := p.chirpF, p.bspecF
+	work = growC(work, p.m*w)
+	a := work
+	for k := 0; k < n; k++ {
+		ck := chirp[k]
+		row := src[k*w:]
+		out := a[k*w:]
+		for r := 0; r < w; r++ {
+			out[r] = row[r] * ck
+		}
+	}
+	for i := n * w; i < p.m*w; i++ {
+		a[i] = 0
+	}
+	batchButterflies(a, w, p.sub, false)
+	for k := 0; k < p.m; k++ {
+		bk := bspec[k]
+		row := a[k*w:]
+		for r := 0; r < w; r++ {
+			row[r] *= bk
+		}
+	}
+	batchButterflies(a, w, p.sub, true)
+	scale := complex(1/float64(p.m), 0)
+	for k := 0; k < n; k++ {
+		ck := chirp[k] * scale
+		row := a[k*w:]
+		out := dst[k*w:]
+		for r := 0; r < w; r++ {
+			out[r] = row[r] * ck
+		}
+	}
+	return work
+}
+
+// batchButterflies applies p's power-of-two butterfly schedule to every
+// lane of the columnar matrix m (p.Len() rows × w lanes). Stage order,
+// block order, and twiddle values match Plan.butterflies exactly; only
+// the lane loop is new, unrolled 4 wide.
+func batchButterflies(m []complex128, w int, p *Plan, inverse bool) {
+	n := p.n
+	for i, j := range p.perm {
+		if j > i {
+			ri := m[i*w : i*w+w]
+			rj := m[j*w : j*w+w]
+			for r := range ri {
+				ri[r], rj[r] = rj[r], ri[r]
+			}
+		}
+	}
+	tab := p.twF
+	if inverse {
+		tab = p.twI
+	}
+	for s, row := range tab {
+		size := 2 << uint(s)
+		half := size >> 1
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				tw := row[k]
+				er := m[(start+k)*w : (start+k)*w+w]
+				or := m[(start+k+half)*w : (start+k+half)*w+w]
+				r := 0
+				for ; r+4 <= w; r += 4 {
+					e0, e1, e2, e3 := er[r], er[r+1], er[r+2], er[r+3]
+					o0, o1, o2, o3 := or[r]*tw, or[r+1]*tw, or[r+2]*tw, or[r+3]*tw
+					er[r], or[r] = e0+o0, e0-o0
+					er[r+1], or[r+1] = e1+o1, e1-o1
+					er[r+2], or[r+2] = e2+o2, e2-o2
+					er[r+3], or[r+3] = e3+o3, e3-o3
+				}
+				for ; r < w; r++ {
+					e := er[r]
+					o := or[r] * tw
+					er[r], or[r] = e+o, e-o
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// batchTestSeries builds w deterministic pseudo-random series of length n
+// with diurnal-ish structure plus noise, all distinct.
+func batchTestSeries(n, w int) [][]float64 {
+	xs := make([][]float64, w)
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state%10000)/10000 - 0.5
+	}
+	for r := range xs {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = 20 + 10*math.Sin(2*math.Pi*float64(i)/24+float64(r)) + 3*next()
+		}
+		xs[r] = x
+	}
+	return xs
+}
+
+// TestBatchHalfSpectraParity demands every lane of the batched transform
+// equals the scalar RealPlan.HalfSpectrum bit for bit, across even,
+// power-of-two, odd, and Bluestein lengths and several batch widths
+// (exercising both the 4-wide unrolled lanes and the remainder loop).
+func TestBatchHalfSpectraParity(t *testing.T) {
+	for _, n := range []int{2, 8, 24, 64, 100, 168, 336, 672, 97, 55, 1} {
+		for _, w := range []int{1, 2, 3, 4, 5, 8, 9} {
+			xs := batchTestSeries(n, w)
+			shifts := make([]float64, w)
+			for r, x := range xs {
+				for _, v := range x {
+					shifts[r] += v
+				}
+				shifts[r] /= float64(n)
+			}
+			sc := NewScratch()
+			bp := sc.BatchPlan(n)
+			half := n/2 + 1
+			dst := make([]complex128, half*w)
+			bp.HalfSpectra(dst, xs, shifts)
+			rp := sc.RealPlan(n)
+			want := make([]complex128, half)
+			for r := 0; r < w; r++ {
+				rp.HalfSpectrum(want, xs[r], shifts[r])
+				for k := 0; k < half; k++ {
+					if got := dst[k*w+r]; got != want[k] {
+						t.Fatalf("n=%d w=%d lane %d bin %d: batch %v, scalar %v", n, w, r, k, got, want[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchHalfSpectraRepeated checks a plan's buffers are reusable: the
+// same plan run at different widths in sequence keeps producing exact
+// results (buffer growth and reuse must not leak state between calls).
+func TestBatchHalfSpectraRepeated(t *testing.T) {
+	const n = 56
+	sc := NewScratch()
+	bp := sc.BatchPlan(n)
+	rp := sc.RealPlan(n)
+	half := n/2 + 1
+	for _, w := range []int{7, 2, 7, 1, 4} {
+		xs := batchTestSeries(n, w)
+		shifts := make([]float64, w)
+		dst := make([]complex128, half*w)
+		bp.HalfSpectra(dst, xs, shifts)
+		want := make([]complex128, half)
+		for r := 0; r < w; r++ {
+			rp.HalfSpectrum(want, xs[r], shifts[r])
+			for k := 0; k < half; k++ {
+				if dst[k*w+r] != want[k] {
+					t.Fatalf("w=%d lane %d bin %d mismatch after reuse", w, r, k)
+				}
+			}
+		}
+	}
+}
+
+// TestDiurnalStatsBatchParity checks the batched diurnal test returns
+// exactly the scalar DiurnalStats result for every series, including the
+// weak/noisy lanes.
+func TestDiurnalStatsBatchParity(t *testing.T) {
+	opts := DiurnalScoreOpts{SampleInterval: 3600, Period: 86400, Harmonics: 3}
+	for _, n := range []int{672, versionOddLen, 96} {
+		xs := batchTestSeries(n, 6)
+		// Lane 2: flat series; lane 4: pure noise.
+		for i := range xs[2] {
+			xs[2][i] = 7
+		}
+		sc := NewScratch()
+		got, err := sc.DiurnalStatsBatch(xs, opts)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		sc2 := NewScratch()
+		for r, x := range xs {
+			want, err := sc2.DiurnalStats(x, opts)
+			if err != nil {
+				t.Fatalf("scalar n=%d lane %d: %v", n, r, err)
+			}
+			if got[r] != want {
+				t.Fatalf("n=%d lane %d: batch %+v scalar %+v", n, r, got[r], want)
+			}
+		}
+	}
+}
+
+// versionOddLen is an odd series length that forces the full-complex
+// (Bluestein) batched path through DiurnalStatsBatch.
+const versionOddLen = 671
+
+// TestDiurnalStatsBatchErrors checks the batch entry point rejects what
+// the scalar one rejects.
+func TestDiurnalStatsBatchErrors(t *testing.T) {
+	sc := NewScratch()
+	if _, err := sc.DiurnalStatsBatch([][]float64{make([]float64, 10)}, DiurnalScoreOpts{}); err == nil {
+		t.Fatal("want error for zero opts")
+	}
+	opts := DiurnalScoreOpts{SampleInterval: 3600, Period: 86400}
+	if _, err := sc.DiurnalStatsBatch([][]float64{make([]float64, 10)}, opts); err == nil {
+		t.Fatal("want error for short series")
+	}
+	if _, err := sc.DiurnalStatsBatch([][]float64{make([]float64, 96), make([]float64, 97)}, opts); err == nil {
+		t.Fatal("want error for mixed lengths")
+	}
+	if out, err := sc.DiurnalStatsBatch(nil, opts); err != nil || out != nil {
+		t.Fatalf("empty batch: got %v, %v", out, err)
+	}
+}
+
+// TestPaddedRealLen pins the size-class function against the plan
+// machinery it summarizes.
+func TestPaddedRealLen(t *testing.T) {
+	cases := map[int]int{
+		0:   1,
+		1:   1,
+		2:   1,   // half length 1
+		8:   4,   // half 4, power of two
+		672: 512, // half 336 -> Bluestein pad 1024? no: 2*336-1=671 -> 1024
+		64:  32,
+		100: 128, // half 50 -> pad >= 99 -> 128
+		97:  256, // odd -> pad >= 193 -> 256
+	}
+	cases[672] = 1024
+	for n, want := range cases {
+		if got := PaddedRealLen(n); got != want {
+			t.Fatalf("PaddedRealLen(%d) = %d, want %d", n, got, want)
+		}
+	}
+	// Same class implies shared butterfly length; sanity-check monotone
+	// grouping over a realistic range.
+	for n := 2; n < 2048; n += 2 {
+		if PaddedRealLen(n) != paddedComplexLen(n/2) {
+			t.Fatalf("even %d: class mismatch", n)
+		}
+	}
+}

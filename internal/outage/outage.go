@@ -131,22 +131,33 @@ func (d *Detector) State() State { return d.state }
 func (d *Detector) Observe(t int64, up bool) {
 	a := d.availability
 	eps := d.params.LieProbability
-	var pObsUp, pObsDown float64
-	if up {
-		pObsUp, pObsDown = a, eps
-	} else {
-		pObsUp, pObsDown = 1-a, 1-eps
-	}
-	num := pObsUp * d.belief
-	den := num + pObsDown*(1-d.belief)
-	if den > 0 {
-		d.belief = num / den
-	}
-	if d.belief < d.params.BeliefFloor {
-		d.belief = d.params.BeliefFloor
-	}
-	if d.belief > d.params.BeliefCeiling {
-		d.belief = d.params.BeliefCeiling
+	// Saturation fast path: when the belief sits exactly at a cap and the
+	// observation pushes further into it, the Bayesian update provably
+	// re-clamps to the same value (e.g. for positive evidence aB/(aB +
+	// eps(1-B)) >= B whenever a >= eps, including the den == 0 and cap == 1
+	// edge cases), so the division can be skipped. Long saturated runs —
+	// most of a healthy block's stream — reduce to the decision switch.
+	skip := a >= eps &&
+		((up && d.belief == d.params.BeliefCeiling) ||
+			(!up && d.belief == d.params.BeliefFloor))
+	if !skip {
+		var pObsUp, pObsDown float64
+		if up {
+			pObsUp, pObsDown = a, eps
+		} else {
+			pObsUp, pObsDown = 1-a, 1-eps
+		}
+		num := pObsUp * d.belief
+		den := num + pObsDown*(1-d.belief)
+		if den > 0 {
+			d.belief = num / den
+		}
+		if d.belief < d.params.BeliefFloor {
+			d.belief = d.params.BeliefFloor
+		}
+		if d.belief > d.params.BeliefCeiling {
+			d.belief = d.params.BeliefCeiling
+		}
 	}
 	switch {
 	case d.belief >= d.params.UpThreshold:
@@ -191,10 +202,58 @@ func FromRecords(records []probe.Record, availability float64, params Params) ([
 	if err != nil {
 		return nil, err
 	}
-	for _, r := range records {
-		d.Observe(r.T, r.Up)
-	}
+	d.observeAll(records)
 	return d.Outages(), nil
+}
+
+// observeAll is Observe unrolled over a whole record stream with the
+// belief, state, and parameters held in locals: a world run pushes
+// millions of records through the detector, and the per-call pointer
+// traffic of the one-record method was a measurable profile slice. The
+// arithmetic and decision order are identical to calling Observe once per
+// record.
+func (d *Detector) observeAll(records []probe.Record) {
+	a := d.availability
+	eps := d.params.LieProbability
+	floor, ceil := d.params.BeliefFloor, d.params.BeliefCeiling
+	upTh, downTh := d.params.UpThreshold, d.params.DownThreshold
+	canSkip := a >= eps
+	belief, state, outages := d.belief, d.state, d.outages
+	for i := range records {
+		r := &records[i]
+		if !(canSkip && ((r.Up && belief == ceil) || (!r.Up && belief == floor))) {
+			var pObsUp, pObsDown float64
+			if r.Up {
+				pObsUp, pObsDown = a, eps
+			} else {
+				pObsUp, pObsDown = 1-a, 1-eps
+			}
+			num := pObsUp * belief
+			den := num + pObsDown*(1-belief)
+			if den > 0 {
+				belief = num / den
+			}
+			if belief < floor {
+				belief = floor
+			}
+			if belief > ceil {
+				belief = ceil
+			}
+		}
+		switch {
+		case belief >= upTh:
+			if state == Down {
+				outages[len(outages)-1].End = r.T
+			}
+			state = Up
+		case belief <= downTh:
+			if state != Down {
+				outages = append(outages, Interval{Start: r.T})
+			}
+			state = Down
+		}
+	}
+	d.belief, d.state, d.outages = belief, state, outages
 }
 
 // MaskChanges reports, for each change time, whether it falls within slop

@@ -214,3 +214,93 @@ func TestBeliefBounded(t *testing.T) {
 		}
 	}
 }
+
+// observeReference is the pre-fast-path Bayesian update, kept verbatim as
+// the oracle for TestObserveSaturationFastPath.
+func observeReference(d *Detector, t int64, up bool) {
+	a := d.availability
+	eps := d.params.LieProbability
+	var pObsUp, pObsDown float64
+	if up {
+		pObsUp, pObsDown = a, eps
+	} else {
+		pObsUp, pObsDown = 1-a, 1-eps
+	}
+	num := pObsUp * d.belief
+	den := num + pObsDown*(1-d.belief)
+	if den > 0 {
+		d.belief = num / den
+	}
+	if d.belief < d.params.BeliefFloor {
+		d.belief = d.params.BeliefFloor
+	}
+	if d.belief > d.params.BeliefCeiling {
+		d.belief = d.params.BeliefCeiling
+	}
+	switch {
+	case d.belief >= d.params.UpThreshold:
+		if d.state == Down {
+			d.outages[len(d.outages)-1].End = t
+		}
+		d.state = Up
+	case d.belief <= d.params.DownThreshold:
+		if d.state != Down {
+			d.outages = append(d.outages, Interval{Start: t})
+		}
+		d.state = Down
+	}
+}
+
+// TestObserveSaturationFastPath drives Observe and the reference update
+// over identical pseudorandom streams — including long saturated runs that
+// exercise the skip — and demands bit-identical beliefs, states, and
+// intervals at every step.
+func TestObserveSaturationFastPath(t *testing.T) {
+	for _, avail := range []float64{0.05, 0.3, 0.8, 0.99} {
+		for _, params := range []Params{{}, {UpThreshold: 0.95, DownThreshold: 0.2, LieProbability: 0.05, BeliefFloor: 0.001, BeliefCeiling: 0.999}} {
+			fast, err := NewDetector(avail, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := NewDetector(avail, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			state := uint64(12345)
+			upRun, downRun := 0, 0
+			for i := 0; i < 5000; i++ {
+				state = state*6364136223846793005 + 1442695040888963407
+				var up bool
+				switch {
+				case upRun > 0:
+					up, upRun = true, upRun-1
+				case downRun > 0:
+					up, downRun = false, downRun-1
+				default:
+					r := state >> 56
+					switch {
+					case r < 64:
+						upRun = int(state>>48) & 63 // long positive runs: ceiling skips
+					case r < 128:
+						downRun = int(state>>48) & 63 // long negative runs: floor skips
+					}
+					up = state&1 == 0
+				}
+				fast.Observe(int64(i), up)
+				observeReference(ref, int64(i), up)
+				if fast.belief != ref.belief || fast.state != ref.state {
+					t.Fatalf("avail %v step %d: fast (belief=%v state=%v) != ref (belief=%v state=%v)",
+						avail, i, fast.belief, fast.state, ref.belief, ref.state)
+				}
+			}
+			if len(fast.outages) != len(ref.outages) {
+				t.Fatalf("avail %v: %d outages vs %d", avail, len(fast.outages), len(ref.outages))
+			}
+			for i := range fast.outages {
+				if fast.outages[i] != ref.outages[i] {
+					t.Fatalf("avail %v outage %d: %+v vs %+v", avail, i, fast.outages[i], ref.outages[i])
+				}
+			}
+		}
+	}
+}

@@ -162,6 +162,14 @@ func (e *Engine) Run(b *netsim.Block, start, end int64, fn func(obs int, r Recor
 // world-scale run can be interrupted mid-block instead of only between
 // blocks.
 func (e *Engine) RunContext(ctx context.Context, b *netsim.Block, start, end int64, fn func(obs int, r Record)) error {
+	return e.run(ctx, b, start, end, fn, nil)
+}
+
+// run drives the probing loop. Exactly one of fn (streaming callback) or
+// bufs (direct per-observer append, the CollectInto hot path — probing a
+// whole world makes millions of per-record calls, and the indirect closure
+// dispatch was a measurable slice of the profile) is non-nil.
+func (e *Engine) run(ctx context.Context, b *netsim.Block, start, end int64, fn func(obs int, r Record), bufs [][]Record) error {
 	if err := e.Validate(); err != nil {
 		return err
 	}
@@ -172,6 +180,10 @@ func (e *Engine) RunContext(ctx context.Context, b *netsim.Block, start, end int
 	if len(order) == 0 {
 		return nil // nothing ever responded: Trinocular drops such blocks
 	}
+	// One ActiveCache per collection: rounds replay the same timestamps
+	// and days many times over, so the memoized address state answers most
+	// probes without re-hashing (bit-identical to Block.Active).
+	ac := b.NewActiveCache()
 	type state struct {
 		next   int64
 		cursor int
@@ -210,7 +222,11 @@ func (e *Engine) RunContext(ctx context.Context, b *netsim.Block, start, end int
 		}
 		st := &sts[oi]
 		if o := &e.Observers[oi]; o.Down == nil || !o.Down(st.next) {
-			e.round(b, oi, st.next, order, &st.cursor, fn)
+			if bufs != nil {
+				bufs[oi] = e.roundInto(ac, oi, st.next, order, &st.cursor, bufs[oi])
+			} else {
+				e.round(ac, oi, st.next, order, &st.cursor, fn)
+			}
 		}
 		st.next += netsim.RoundSeconds
 	}
@@ -219,7 +235,8 @@ func (e *Engine) RunContext(ctx context.Context, b *netsim.Block, start, end int
 // round executes one probing round for one observer: probe targets in the
 // shared order until the first positive response (plus Extra additional
 // probes), up to MaxPerRound+Extra probes total.
-func (e *Engine) round(b *netsim.Block, oi int, t int64, order []int, cursor *int, fn func(obs int, r Record)) {
+func (e *Engine) round(ac *netsim.ActiveCache, oi int, t int64, order []int, cursor *int, fn func(obs int, r Record)) {
+	b := ac.Block()
 	o := &e.Observers[oi]
 	budget := o.MaxPerRound
 	if budget == 0 {
@@ -232,8 +249,10 @@ func (e *Engine) round(b *netsim.Block, oi int, t int64, order []int, cursor *in
 	sincePositive := -1
 	for k := 0; k < budget; k++ {
 		addr := order[*cursor]
-		*cursor = (*cursor + 1) % len(order)
-		up := b.Active(addr, t)
+		if *cursor++; *cursor == len(order) {
+			*cursor = 0
+		}
+		up := ac.Active(addr, t)
 		if up && o.Loss != nil {
 			rate := o.Loss.Rate(b.ID, t)
 			if rate > 0 && netsim.HashUnit(o.Seed, uint64(b.ID), uint64(t), uint64(addr), saltLoss) < rate {
@@ -253,6 +272,53 @@ func (e *Engine) round(b *netsim.Block, oi int, t int64, order []int, cursor *in
 			return
 		}
 	}
+}
+
+// roundInto is round appending records directly to buf instead of invoking
+// a callback, the collection hot path. The probing logic is identical.
+func (e *Engine) roundInto(ac *netsim.ActiveCache, oi int, t int64, order []int, cursor *int, buf []Record) []Record {
+	b := ac.Block()
+	o := &e.Observers[oi]
+	budget := o.MaxPerRound
+	if budget == 0 {
+		budget = DefaultMaxPerRound
+	}
+	budget += o.Extra
+	if budget > len(order) {
+		budget = len(order)
+	}
+	cur := *cursor
+	lossy := o.Loss != nil || o.ExtraLoss != nil
+	sincePositive := -1
+	for k := 0; k < budget; k++ {
+		addr := order[cur]
+		if cur++; cur == len(order) {
+			cur = 0
+		}
+		up := ac.Active(addr, t)
+		if up && lossy {
+			if o.Loss != nil {
+				rate := o.Loss.Rate(b.ID, t)
+				if rate > 0 && netsim.HashUnit(o.Seed, uint64(b.ID), uint64(t), uint64(addr), saltLoss) < rate {
+					up = false // the probe or its reply was lost in transit
+				}
+			}
+			if up && o.ExtraLoss != nil && o.ExtraLoss(b.ID, t, addr) {
+				up = false
+			}
+		}
+		buf = append(buf, Record{T: t, Addr: uint8(addr), Up: up})
+		if up && sincePositive < 0 {
+			sincePositive = 0
+		} else if sincePositive >= 0 {
+			sincePositive++
+		}
+		if sincePositive >= 0 && sincePositive >= o.Extra {
+			break
+		}
+	}
+	*cursor = cur
+	return buf
 }
 
 // Collect runs the engine and gathers per-observer record slices, a
@@ -275,20 +341,28 @@ func (e *Engine) CollectInto(ctx context.Context, b *netsim.Block, start, end in
 	for i := range bufs {
 		bufs[i] = bufs[i][:0]
 	}
-	err := e.RunContext(ctx, b, start, end, func(obs int, r Record) {
-		bufs[obs] = append(bufs[obs], r)
-	})
+	err := e.run(ctx, b, start, end, nil, bufs)
 	return bufs, err
 }
+
+// EmitsSanitizedRecords reports that the engine's streams are sanitary by
+// construction: every record lies in [start, end), each observer's round
+// times strictly increase, and a round never probes the same address
+// twice — exactly the invariants reconstruct.Sanitize checks for. The
+// analysis pipeline uses this to skip the sanitize pre-scan; fault
+// injectors that corrupt streams (internal/faults) deliberately do not
+// forward the method.
+func (e *Engine) EmitsSanitizedRecords() bool { return true }
 
 // Survey performs full scans: every address of E(b) is probed every round,
 // with no loss and no adaptivity. This reproduces the USC Internet survey
 // datasets (it89) the paper uses as reconstruction ground truth (§3.2).
 func Survey(b *netsim.Block, start, end int64, fn func(r Record)) {
 	targets := b.EverActive()
+	ac := b.NewActiveCache()
 	for t := start; t < end; t += netsim.RoundSeconds {
 		for _, addr := range targets {
-			fn(Record{T: t, Addr: uint8(addr), Up: b.Active(addr, t)})
+			fn(Record{T: t, Addr: uint8(addr), Up: ac.Active(addr, t)})
 		}
 	}
 }

@@ -247,31 +247,63 @@ func Reconstruct(merged []probe.Record, eb []int) (*Series, error) {
 	if len(eb) == 0 {
 		return nil, fmt.Errorf("reconstruct: empty target list")
 	}
-	inEB := make(map[int]bool, len(eb))
+	// The target list is a membership test on the record hot loop: an
+	// array beats a map by an order of magnitude there. Addresses outside
+	// 0..255 can never match a record (Addr is uint8) but still count as
+	// distinct targets, keeping completion semantics unchanged.
+	var inEB [256]bool
+	nEB := 0
+	var extra map[int]bool
 	for _, a := range eb {
-		inEB[a] = true
+		if a >= 0 && a < 256 {
+			if !inEB[a] {
+				inEB[a] = true
+				nEB++
+			}
+		} else {
+			if extra == nil {
+				extra = make(map[int]bool)
+			}
+			if !extra[a] {
+				extra[a] = true
+				nEB++
+			}
+		}
+	}
+	// Pre-size the output: one point per distinct timestamp is an upper
+	// bound, counted in one compare-only pass so the build loop below
+	// never reallocates mid-build.
+	points := 0
+	{
+		var prevT int64
+		havePrev := false
+		for i := range merged {
+			if t := merged[i].T; !havePrev || t != prevT {
+				points++
+				prevT, havePrev = t, true
+			}
+		}
 	}
 	var state [256]int8 // -1 unknown, 0 down, 1 up
 	for i := range state {
 		state[i] = -1
 	}
 	seen, up := 0, 0
-	s := &Series{}
+	s := &Series{Times: make([]int64, 0, points), Counts: make([]float64, 0, points)}
+	times, counts := s.Times, s.Counts
 	var curT int64
 	started := false
-	flush := func() {
-		if started && seen == len(inEB) {
-			s.Times = append(s.Times, curT)
-			s.Counts = append(s.Counts, float64(up))
-		}
-	}
-	for _, r := range merged {
+	for i := range merged {
+		r := &merged[i]
 		a := int(r.Addr)
 		if !inEB[a] {
 			continue
 		}
 		if started && r.T != curT {
-			flush()
+			if seen == nEB {
+				times = append(times, curT)
+				counts = append(counts, float64(up))
+			}
 		}
 		curT = r.T
 		started = true
@@ -289,7 +321,11 @@ func Reconstruct(merged []probe.Record, eb []int) (*Series, error) {
 			state[a] = 0
 		}
 	}
-	flush()
+	if started && seen == nEB {
+		times = append(times, curT)
+		counts = append(counts, float64(up))
+	}
+	s.Times, s.Counts = times, counts
 	return s, nil
 }
 
