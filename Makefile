@@ -39,7 +39,7 @@ fsck: build
 # invariant suite (prefix identity, exact resume, latency bound) on every
 # incarnation. The nightly CI job runs the longer randomized variant.
 soak:
-	$(GO) test ./internal/stream/ -run 'TestChaosSoakShort' -v
+	$(GO) test ./internal/stream/ -run 'TestChaosSoakShort|TestChaosSoakDiskPressure' -v
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -35,11 +35,16 @@ type cliFlags struct {
 	confirm      int
 	maxQueue     int
 	watchdog     time.Duration
+	walSeg       int64
+	walCompact   int64
+	diskBudget   int64
 
 	serveAddr   string
 	snapshotDir string
 	inflight    int
 	reqTimeout  time.Duration
+	retain      int
+	serveBudget int64
 
 	set map[string]bool
 }
@@ -88,8 +93,17 @@ func (f *cliFlags) validate() error {
 		if f.set["watchdog"] && f.watchdog <= 0 {
 			return fmt.Errorf("-watchdog must be positive (got %s)", f.watchdog)
 		}
+		if f.set["walseg"] && f.walSeg < 4096 {
+			return fmt.Errorf("-walseg must be >= 4096 bytes (got %d)", f.walSeg)
+		}
+		if f.set["walcompact"] && f.walCompact <= 0 {
+			return fmt.Errorf("-walcompact must be positive (got %d)", f.walCompact)
+		}
+		if f.set["diskbudget"] && f.diskBudget <= 0 {
+			return fmt.Errorf("-diskbudget must be positive (got %d)", f.diskBudget)
+		}
 	} else {
-		for _, name := range []string{"roundlen", "refresh", "confirm", "maxqueue", "watchdog"} {
+		for _, name := range []string{"roundlen", "refresh", "confirm", "maxqueue", "watchdog", "walseg", "walcompact", "diskbudget"} {
 			if f.set[name] {
 				return fmt.Errorf("-%s only applies to streaming runs (use -daemon DIR)", name)
 			}
@@ -134,8 +148,14 @@ func (f *cliFlags) validate() error {
 		if f.set["reqtimeout"] && f.reqTimeout <= 0 {
 			return fmt.Errorf("-reqtimeout must be positive (got %s)", f.reqTimeout)
 		}
+		if f.set["retain"] && f.retain < 1 {
+			return fmt.Errorf("-retain must keep at least 1 snapshot (got %d)", f.retain)
+		}
+		if f.set["servebudget"] && f.serveBudget <= 0 {
+			return fmt.Errorf("-servebudget must be positive (got %d)", f.serveBudget)
+		}
 	} else {
-		for _, name := range []string{"snapshot", "inflight", "reqtimeout"} {
+		for _, name := range []string{"snapshot", "inflight", "reqtimeout", "retain", "servebudget"} {
 			if f.set[name] {
 				return fmt.Errorf("-%s only applies to serving runs (use -serve ADDR)", name)
 			}

@@ -155,6 +155,41 @@ func TestFlagMatrix(t *testing.T) {
 			f.snapshotDir = "snaps"
 			return f
 		}(), false},
+
+		// Storage-governance rows: WAL sizing is daemon-only, retention
+		// and the publish budget are serve-only, and the size floors hold.
+		{"daemon governance flags", func() *cliFlags {
+			f := base("daemon", "walseg", "walcompact", "diskbudget")
+			f.daemonDir = "d"
+			f.walSeg, f.walCompact, f.diskBudget = 1<<16, 1<<20, 1<<24
+			return f
+		}(), true},
+		{"walseg without daemon", func() *cliFlags { f := base("walseg"); f.walSeg = 1 << 16; return f }(), false},
+		{"walcompact without daemon", func() *cliFlags { f := base("walcompact"); f.walCompact = 1 << 20; return f }(), false},
+		{"diskbudget without daemon", func() *cliFlags { f := base("diskbudget"); f.diskBudget = 1 << 24; return f }(), false},
+		{"daemon tiny walseg", func() *cliFlags {
+			f := base("daemon", "walseg")
+			f.daemonDir, f.walSeg = "d", 512
+			return f
+		}(), false},
+		{"daemon zero diskbudget set", func() *cliFlags {
+			f := base("daemon", "diskbudget")
+			f.daemonDir, f.diskBudget = "d", 0
+			return f
+		}(), false},
+		{"serve governance flags", func() *cliFlags {
+			f := base("serve", "snapshot", "retain", "servebudget")
+			f.serveAddr, f.snapshotDir = ":8080", "snaps"
+			f.retain, f.serveBudget = 3, 1<<24
+			return f
+		}(), true},
+		{"retain without serve", func() *cliFlags { f := base("retain"); f.retain = 3; return f }(), false},
+		{"servebudget without serve", func() *cliFlags { f := base("servebudget"); f.serveBudget = 1 << 24; return f }(), false},
+		{"serve zero retain set", func() *cliFlags {
+			f := base("serve", "snapshot", "retain")
+			f.serveAddr, f.snapshotDir, f.retain = ":8080", "snaps", 0
+			return f
+		}(), false},
 		{"inflight without serve", func() *cliFlags {
 			f := base("inflight")
 			f.inflight = 32

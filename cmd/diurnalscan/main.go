@@ -12,8 +12,10 @@
 //	            [-worker DIR [-shards N] [-workerid ID] [-lease DUR]]
 //	            [-merge DIR]
 //	            [-daemon DIR [-roundlen DUR] [-refresh N] [-confirm N]
-//	             [-maxqueue N] [-watchdog DUR]]
-//	            [-serve ADDR -snapshot DIR [-inflight N] [-reqtimeout DUR]]
+//	             [-maxqueue N] [-watchdog DUR] [-walseg BYTES]
+//	             [-walcompact BYTES] [-diskbudget BYTES]]
+//	            [-serve ADDR -snapshot DIR [-inflight N] [-reqtimeout DUR]
+//	             [-retain N] [-servebudget BYTES]]
 //
 // Example: the first Covid quarter at moderate scale.
 //
@@ -61,6 +63,18 @@
 // same replay. The final report is identical to a batch run of the same
 // world.
 //
+// Storage governance: a daemon meant to run forever must not grow its
+// disk without bound. -walseg rotates the round and event WALs into
+// bounded segments, -walcompact folds a WAL down to a checkpoint-anchored
+// base segment once it exceeds the given size (resume identity is
+// preserved — replay after compaction reaches the same state and event
+// sequence), and -diskbudget caps the daemon directory: a round whose
+// append would exceed the budget is shed and the daemon exits 6 rather
+// than filling the disk. On the serving side, -retain N keeps only the
+// newest N snapshots after each install (in-use and quarantined files
+// are never collected) and -servebudget refuses publishes that would
+// push the snapshot directory past its byte cap.
+//
 // Serving: -serve ADDR publishes a finished run as a columnar snapshot
 // under -snapshot DIR (running the configured world first if the
 // directory has none) and answers result queries over HTTP with bounded
@@ -85,7 +99,9 @@
 // merged output is untrustworthy and the ledger should be inspected.
 // -serve exits 5 when no snapshot could be loaded or built: the server
 // has nothing to answer from, and serving bare 503s forever would look
-// healthy to a load balancer while answering nothing.
+// healthy to a load balancer while answering nothing. -daemon exits 6
+// when the WAL directory hit its -diskbudget and a round was shed: the
+// journal is consistent but the stream needs more disk to continue.
 package main
 
 import (
@@ -145,10 +161,15 @@ func main() {
 	confirm := flag.Int("confirm", 2, "with -daemon: consecutive refreshes a change must survive before emission")
 	maxQueue := flag.Int("maxqueue", 64, "with -daemon: admitted-but-unprocessed round bound (ingestion blocks beyond it)")
 	watchdog := flag.Duration("watchdog", 0, "with -daemon: restart a wedged analysis step after this long (0 disables)")
+	walSeg := flag.Int64("walseg", 0, "with -daemon: rotate WAL segments at this many bytes (default 8MiB)")
+	walCompact := flag.Int64("walcompact", 0, "with -daemon: compact a WAL to its checkpoint base when it exceeds this many bytes (0 never)")
+	diskBudget := flag.Int64("diskbudget", 0, "with -daemon: shed rounds when the daemon directory would exceed this many bytes (0 unlimited)")
 	serveAddr := flag.String("serve", "", "serve result queries over HTTP at this address (requires -snapshot DIR)")
 	snapshotDir := flag.String("snapshot", "", "with -serve: directory of columnar result snapshots (built from a run when empty)")
 	inflight := flag.Int("inflight", 0, "with -serve: bound on admitted-but-unfinished requests (default 64)")
 	reqTimeout := flag.Duration("reqtimeout", 0, "with -serve: per-request deadline propagated into snapshot reads (default 2s)")
+	retain := flag.Int("retain", 0, "with -serve: keep only the newest N snapshots on disk after each install (0 keeps all)")
+	serveBudget := flag.Int64("servebudget", 0, "with -serve: refuse snapshot publishes past this many directory bytes (0 unlimited)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the world run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the world run to this file")
 	flag.Parse()
@@ -176,10 +197,15 @@ func main() {
 		confirm:       *confirm,
 		maxQueue:      *maxQueue,
 		watchdog:      *watchdog,
+		walSeg:        *walSeg,
+		walCompact:    *walCompact,
+		diskBudget:    *diskBudget,
 		serveAddr:     *serveAddr,
 		snapshotDir:   *snapshotDir,
 		inflight:      *inflight,
 		reqTimeout:    *reqTimeout,
+		retain:        *retain,
+		serveBudget:   *serveBudget,
 		set:           set,
 	}
 	if err := cli.validate(); err != nil {
@@ -254,6 +280,8 @@ func main() {
 			Dir:        *snapshotDir,
 			Inflight:   *inflight,
 			ReqTimeout: *reqTimeout,
+			Retain:     *retain,
+			DiskBudget: *serveBudget,
 		})
 		if perr := stopProfiles(); perr != nil {
 			fmt.Fprintln(os.Stderr, perr)
@@ -282,12 +310,23 @@ func main() {
 			ConfirmRefreshes: *confirm,
 			MaxQueue:         *maxQueue,
 			Watchdog:         *watchdog,
+			SegmentBytes:     *walSeg,
+			CompactBytes:     *walCompact,
+			DiskBudget:       *diskBudget,
 		})
 		if perr := stopProfiles(); perr != nil {
 			fmt.Fprintln(os.Stderr, perr)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			if errors.Is(err, diurnal.ErrStreamDiskPressure) {
+				// The WAL directory hit its -diskbudget even after an
+				// emergency compaction. Everything journaled so far is
+				// durable and consistent; the stream simply cannot admit
+				// more rounds on this much disk.
+				fmt.Fprintf(os.Stderr, "daemon stopped at the disk budget; raise -diskbudget or free space under %s and rerun\n", *daemonDir)
+				os.Exit(exitDiskPressure)
+			}
 			if errors.Is(err, context.Canceled) {
 				// SIGTERM/SIGINT drain: admissions stopped, admitted
 				// rounds processed, the event WAL flushed and the journal
@@ -423,6 +462,11 @@ const exitDegraded = 3
 // exitAuditFailed is the -merge exit code when the cross-shard integrity
 // audit fails: the merged output must not be trusted.
 const exitAuditFailed = 4
+
+// exitDiskPressure is the -daemon exit code when the WAL directory hit
+// its -diskbudget and a round had to be shed: the journal on disk is
+// consistent, but the stream could not finish on this much disk.
+const exitDiskPressure = 6
 
 func exitIfDegraded(report *diurnal.Report) {
 	if !report.Report.Degraded() {

@@ -44,6 +44,8 @@ type serveOptions struct {
 	Dir        string
 	Inflight   int
 	ReqTimeout time.Duration
+	Retain     int
+	DiskBudget int64
 
 	// ready, when non-nil, receives the bound listen address once the
 	// server is accepting (tests bind :0 and need the real port).
@@ -60,6 +62,8 @@ func runServe(ctx context.Context, world *diurnal.World, cfg diurnal.Config, opt
 		MaxInflight:     opts.Inflight,
 		QueryTimeout:    opts.ReqTimeout,
 		ExpectSignature: sig,
+		Retain:          opts.Retain,
+		DiskBudget:      opts.DiskBudget,
 	})
 	defer s.Close()
 
@@ -68,13 +72,9 @@ func runServe(ctx context.Context, world *diurnal.World, cfg diurnal.Config, opt
 		fmt.Printf("serving snapshot %s (%s)\n", id, path)
 	} else {
 		fmt.Fprintf(os.Stderr, "no loadable snapshot under %s (%v); running the world to build one\n", opts.Dir, err)
-		path, err := buildSnapshot(ctx, world, cfg, opts.Dir, sig)
+		path, err := buildSnapshot(ctx, world, cfg, s)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "building snapshot: %v\n", err)
-			return exitSnapshotFailed
-		}
-		if err := s.Install(path); err != nil {
-			fmt.Fprintf(os.Stderr, "installing freshly built snapshot: %v\n", err)
 			return exitSnapshotFailed
 		}
 		id, _ := s.Current()
@@ -147,10 +147,11 @@ func drainTimeout(reqTimeout time.Duration) time.Duration {
 	return 2*reqTimeout + time.Second
 }
 
-// buildSnapshot runs the world once and publishes the result as the
-// directory's first snapshot. Respects ctx so SIGTERM during the
-// bootstrap run aborts cleanly.
-func buildSnapshot(ctx context.Context, world *diurnal.World, cfg diurnal.Config, dir string, sig []byte) (string, error) {
+// buildSnapshot runs the world once and publishes the result through the
+// server — so the bootstrap write honors the same retention and disk
+// budget as any later publish, and the snapshot is installed atomically.
+// Respects ctx so SIGTERM during the bootstrap run aborts cleanly.
+func buildSnapshot(ctx context.Context, world *diurnal.World, cfg diurnal.Config, s *serve.Server) (string, error) {
 	report, err := world.RunContext(ctx, cfg, diurnal.RunOptions{})
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -158,5 +159,5 @@ func buildSnapshot(ctx context.Context, world *diurnal.World, cfg diurnal.Config
 		}
 		return "", err
 	}
-	return serve.WriteSnapshot(dir, report, sig, world.Start(), world.End())
+	return s.Publish(report, world.Signature(cfg), world.Start(), world.End())
 }

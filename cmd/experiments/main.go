@@ -72,6 +72,7 @@ func catalog() []experiment {
 		{"shardfailover", "kill -9 a leaseholder mid-shard; fenced takeover merges byte-identical", wrap(experiments.ShardFailover)},
 		{"streaming", "streaming daemon: kill-and-resume event identity, bounded detection latency", wrap(experiments.Streaming)},
 		{"serveload", "result-serving plane under 10x overload: shed-not-queue, bounded p99, corrupt publish quarantined", wrap(experiments.ServeLoad)},
+		{"longrun", "run-forever storage governance: flat disk under kills, retention, graceful ENOSPC", wrap(experiments.Longrun)},
 	}
 }
 

@@ -406,10 +406,27 @@ type StreamOptions struct {
 	// Watchdog, when positive, restarts the analysis loop if one step
 	// wedges for this long; state is rebuilt by WAL replay.
 	Watchdog time.Duration
+	// SegmentBytes rotates WAL segments at roughly this size (default
+	// 8 MiB; minimum 4096). Smaller segments bound the unit of
+	// compaction and orphan recovery.
+	SegmentBytes int64
+	// CompactBytes, when positive, compacts a WAL down to a
+	// checkpoint-anchored base segment whenever its total size exceeds
+	// this many bytes. Zero never compacts on size.
+	CompactBytes int64
+	// DiskBudget, when positive, caps the daemon directory's total
+	// bytes. A round whose append would exceed the budget (after an
+	// emergency compaction) is shed with ErrStreamDiskPressure instead
+	// of being admitted.
+	DiskBudget int64
 	// OnEvent, when non-nil, receives each event right after it is
 	// journaled, in sequence order.
 	OnEvent func(StreamEvent)
 }
+
+// ErrStreamDiskPressure marks a streaming round shed because the
+// daemon's disk budget is exhausted; classify with errors.Is.
+var ErrStreamDiskPressure = stream.ErrDiskPressure
 
 // RunStream probes and analyzes the world as a stream. It feeds every
 // round of the analysis window through a durable ingestion daemon rooted
@@ -426,6 +443,9 @@ func (w *World) RunStream(ctx context.Context, cfg Config, opts StreamOptions) (
 		ConfirmRefreshes: opts.ConfirmRefreshes,
 		MaxQueue:         opts.MaxQueue,
 		Watchdog:         opts.Watchdog,
+		SegmentBytes:     opts.SegmentBytes,
+		CompactBytes:     opts.CompactBytes,
+		DiskBudget:       opts.DiskBudget,
 		OnEvent:          opts.OnEvent,
 	}
 	d, err := stream.Open(opts.Dir, w.blocks, len(w.engine.Observers), scfg)

@@ -17,11 +17,14 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 
 	"github.com/diurnalnet/diurnal/internal/dataset"
 	"github.com/diurnalnet/diurnal/internal/geo"
 	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/storage"
 )
 
 // Frame payload tags.
@@ -67,13 +70,21 @@ type Checkpointer struct {
 	// shard layer installs a lease check here so a worker whose lease was
 	// reassigned cannot journal late results (see core.ErrFenced).
 	Fence func() error
+	// CompactBytes, when positive, bounds the journal: once an Append
+	// grows the file past it, the journal is compacted in place (see
+	// Compact). Set it before the first Append; it is not consulted
+	// concurrently with mutation.
+	CompactBytes int64
 
-	mu       sync.Mutex
-	f        *os.File
-	path     string
-	sig      []byte
-	prior    map[checkpointKey]*BlockOutcome
-	appended int
+	mu          sync.Mutex
+	fsys        storage.FS
+	f           storage.File
+	path        string
+	sig         []byte
+	prior       map[checkpointKey]*BlockOutcome
+	appended    int
+	size        int64
+	compactions int64
 }
 
 // JournalEntry is one decoded block frame from a checkpoint journal, in
@@ -129,12 +140,21 @@ func ReadCheckpoint(path string) (sig []byte, entries []JournalEntry, torn int, 
 	return sig, entries, len(data) - good, nil
 }
 
-// OpenCheckpoint opens (or creates) a checkpoint journal. Existing frames
-// are replayed into memory; an incomplete or corrupt tail — the signature
-// of a crash mid-append — is truncated so the journal is append-clean.
+// OpenCheckpoint opens (or creates) a checkpoint journal on the real
+// filesystem. Existing frames are replayed into memory; an incomplete or
+// corrupt tail — the signature of a crash mid-append — is truncated so
+// the journal is append-clean.
 func OpenCheckpoint(path string) (*Checkpointer, error) {
-	c := &Checkpointer{path: path, prior: map[checkpointKey]*BlockOutcome{}}
-	data, err := os.ReadFile(path)
+	return OpenCheckpointFS(path, storage.OS)
+}
+
+// OpenCheckpointFS is OpenCheckpoint through an injectable filesystem;
+// fault-injection tests script write failures here. It also sweeps temp
+// files a killed compaction left beside the journal.
+func OpenCheckpointFS(path string, fsys storage.FS) (*Checkpointer, error) {
+	c := &Checkpointer{path: path, fsys: fsys, prior: map[checkpointKey]*BlockOutcome{}}
+	sweepTempSiblings(fsys, path)
+	data, err := fsys.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, fmt.Errorf("core: reading checkpoint %s: %w", path, err)
 	}
@@ -143,7 +163,7 @@ func OpenCheckpoint(path string) (*Checkpointer, error) {
 	for _, e := range entries {
 		c.prior[checkpointKey{Index: e.Index, ID: e.Outcome.ID}] = e.Outcome
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("core: opening checkpoint %s: %w", path, err)
 	}
@@ -158,7 +178,26 @@ func OpenCheckpoint(path string) (*Checkpointer, error) {
 		return nil, err
 	}
 	c.f = f
+	c.size = int64(good)
 	return c, nil
+}
+
+// sweepTempSiblings removes "<path>.tmp*" litter left by an atomic
+// rewrite the process was killed in the middle of. Best-effort: the
+// rewrite protocol never acks through a temp file, so deleting one can
+// only reclaim space.
+func sweepTempSiblings(fsys storage.FS, path string) {
+	dir := filepath.Dir(path)
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	prefix := filepath.Base(path) + ".tmp"
+	for _, e := range ents {
+		if e.Type().IsRegular() && strings.HasPrefix(e.Name(), prefix) {
+			fsys.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
 }
 
 // Path returns the journal's file path.
@@ -230,10 +269,96 @@ func (c *Checkpointer) Append(index int, o BlockOutcome) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.f == nil {
+		return fmt.Errorf("core: checkpoint %s is closed", c.path)
+	}
 	if _, err := c.f.Write(frame); err != nil {
 		return fmt.Errorf("core: appending checkpoint frame: %w", err)
 	}
 	c.appended++
+	c.size += int64(len(frame))
+	if c.CompactBytes > 0 && c.size > c.CompactBytes {
+		// Best-effort in-line compaction; a failure leaves the journal
+		// append-clean and oversized, surfaced on the next explicit
+		// Compact or ignored.
+		c.compactLocked()
+	}
+	return nil
+}
+
+// Compact rewrites the journal in place as its deduplicated base: one
+// header frame plus exactly one block frame per (index, ID), keeping
+// the first append (later duplicates are fenced writers' byte-identical
+// repeats). The rewrite is atomic — temp file, fsync, rename, parent
+// fsync — so a kill at any point leaves either the old journal or the
+// new base, never a torn hybrid; resumability is anchored to the
+// checkpoint contents themselves.
+func (c *Checkpointer) Compact() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.compactLocked()
+}
+
+// Compactions reports how many times the journal was rewritten.
+func (c *Checkpointer) Compactions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.compactions
+}
+
+func (c *Checkpointer) compactLocked() error {
+	if c.f == nil {
+		return fmt.Errorf("core: checkpoint %s is closed", c.path)
+	}
+	if c.sig == nil {
+		return nil // nothing bound, nothing journaled
+	}
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("core: syncing checkpoint before compaction: %w", err)
+	}
+	data, err := c.fsys.ReadFile(c.path)
+	if err != nil {
+		return fmt.Errorf("core: reading checkpoint %s: %w", c.path, err)
+	}
+	sig, entries, _ := scanFrames(data)
+	out, err := encodeFrame(frameHeader, checkpointHeader{Signature: sig})
+	if err != nil {
+		return err
+	}
+	seen := make(map[checkpointKey]bool, len(entries))
+	for _, e := range entries {
+		k := checkpointKey{Index: e.Index, ID: e.Outcome.ID}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		frame, err := encodeBlockFrame(e.Index, *e.Outcome)
+		if err != nil {
+			return err
+		}
+		out = append(out, frame...)
+	}
+	if err := storage.WriteBytesAtomic(c.fsys, c.path, out); err != nil {
+		return err
+	}
+	f, err := c.fsys.OpenFile(c.path, os.O_RDWR, 0o644)
+	if err != nil {
+		// The old handle now points at the unlinked pre-compaction inode;
+		// writing through it would be silent data loss. Fail closed.
+		c.f.Close()
+		c.f = nil
+		return fmt.Errorf("core: reopening compacted checkpoint %s: %w", c.path, err)
+	}
+	if _, err := f.Seek(int64(len(out)), 0); err != nil {
+		f.Close()
+		c.f.Close()
+		c.f = nil
+		return err
+	}
+	c.f.Close()
+	c.f = f
+	c.size = int64(len(out))
+	c.compactions++
 	return nil
 }
 
@@ -306,9 +431,13 @@ func (c *Checkpointer) writeFrame(tag byte, v any) error {
 	if err != nil {
 		return err
 	}
+	if c.f == nil {
+		return fmt.Errorf("core: checkpoint %s is closed", c.path)
+	}
 	if _, err := c.f.Write(frame); err != nil {
 		return fmt.Errorf("core: appending checkpoint frame: %w", err)
 	}
+	c.size += int64(len(frame))
 	return nil
 }
 

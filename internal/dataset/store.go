@@ -16,6 +16,7 @@ import (
 	"github.com/diurnalnet/diurnal/internal/dsp"
 	"github.com/diurnalnet/diurnal/internal/netsim"
 	"github.com/diurnalnet/diurnal/internal/probe"
+	"github.com/diurnalnet/diurnal/internal/storage"
 )
 
 // A Store persists probe observations on disk so analyses can be replayed
@@ -119,28 +120,13 @@ func OpenStore(dir string) (*Store, error) {
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
-// writeFileAtomic writes data to path via a temp file in the same
-// directory, fsyncs it, and renames it into place, so readers (and
-// crash-recovery) never observe a torn file under the final name.
-func writeFileAtomic(path string, write func(f *os.File) error) error {
-	dir, base := filepath.Split(path)
-	tmp, err := os.CreateTemp(dir, base+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := write(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+// writeFileAtomic writes data to path through the shared storage
+// discipline: temp file in the same directory, write, fsync, rename,
+// parent-directory fsync, so readers (and crash-recovery) never observe
+// a torn file under the final name and the directory entry itself is
+// durable.
+func writeFileAtomic(fsys storage.FS, path string, write func(f storage.File) error) error {
+	return storage.WriteFileAtomic(fsys, path, write)
 }
 
 // CreateStore writes a complete observation archive: it probes every block
@@ -149,7 +135,14 @@ func writeFileAtomic(path string, write func(f *os.File) error) error {
 // mid-archive leaves a directory OpenStore still refuses as ErrNotStore
 // rather than a store with missing logs.
 func CreateStore(dir string, spec Spec, eng *probe.Engine, world []*WorldBlock) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return CreateStoreFS(storage.OS, dir, spec, eng, world)
+}
+
+// CreateStoreFS is CreateStore through an injectable filesystem, so
+// fault-injection tests can hit the archive path with deterministic
+// ENOSPC, short writes, and failed fsyncs.
+func CreateStoreFS(fsys storage.FS, dir string, spec Spec, eng *probe.Engine, world []*WorldBlock) (*Store, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	idx := storeIndex{Name: spec.Name, Start: spec.Start, End: spec.End(), Sites: spec.Sites}
@@ -163,7 +156,7 @@ func CreateStore(dir string, spec Spec, eng *probe.Engine, world []*WorldBlock) 
 			return nil, fmt.Errorf("dataset: probing %v: %w", wb.ID, err)
 		}
 		for oi, records := range perObs {
-			err := writeFileAtomic(filepath.Join(dir, logName(wb.ID, oi)), func(f *os.File) error {
+			err := writeFileAtomic(fsys, filepath.Join(dir, logName(wb.ID, oi)), func(f storage.File) error {
 				return WriteRecords(f, records)
 			})
 			if err != nil {
@@ -176,7 +169,7 @@ func CreateStore(dir string, spec Spec, eng *probe.Engine, world []*WorldBlock) 
 	if err != nil {
 		return nil, err
 	}
-	err = writeFileAtomic(filepath.Join(dir, "index.json"), func(f *os.File) error {
+	err = writeFileAtomic(fsys, filepath.Join(dir, "index.json"), func(f storage.File) error {
 		_, err := f.Write(data)
 		return err
 	})

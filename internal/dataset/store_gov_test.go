@@ -1,0 +1,114 @@
+package dataset
+
+// Durability of the store's atomic writes: every file lands via
+// temp + fsync + rename + parent-directory fsync, so a killed or
+// power-cut CreateStore never leaves a torn file under a durable name.
+// The fault injector scripts the failures deterministically.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"github.com/diurnalnet/diurnal/internal/faults"
+	"github.com/diurnalnet/diurnal/internal/probe"
+)
+
+func storeFixture(t *testing.T) (Spec, *WorldBlock, []*WorldBlock, *probe.Engine) {
+	t.Helper()
+	spec := Spec{Name: "gov-2020w1", Start: start2020, Weeks: 1, Sites: []string{"e"}}
+	world, err := BuildWorld(WorldOpts{
+		Blocks: 3, Seed: 9, Start: spec.Start, End: spec.End(),
+		OutageProb: -1, RenumberProb: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := EngineFor(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, world[0], world, eng
+}
+
+// TestCreateStoreSyncsDirAfterRename: the first store file's parent-dir
+// fsync is the second sync the injector sees (the temp file's own fsync
+// is the first); failing it surfaces the error, and the renamed file is
+// already in place — proving the ordering write → fsync → rename →
+// dir fsync for store writes.
+func TestCreateStoreSyncsDirAfterRename(t *testing.T) {
+	spec, _, world, eng := storeFixture(t)
+	dir := t.TempDir()
+	ffs := &faults.FS{Plan: faults.FSPlan{FailSyncAt: 2}}
+	_, err := CreateStoreFS(ffs, dir, spec, eng, world)
+	if err == nil {
+		t.Fatal("failed directory fsync not surfaced")
+	}
+	if !strings.Contains(err.Error(), "syncing directory") {
+		t.Fatalf("second sync is not the directory fsync: %v", err)
+	}
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("injected sync failure lost its errno: %v", err)
+	}
+	ents, lerr := os.ReadDir(dir)
+	if lerr != nil {
+		t.Fatal(lerr)
+	}
+	renamed := 0
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temp litter survived the failed write: %s", e.Name())
+		} else if e.Type().IsRegular() {
+			renamed++
+		}
+	}
+	if renamed != 1 {
+		t.Errorf("%d files renamed into place before the failed directory fsync, want the first store file", renamed)
+	}
+}
+
+// TestCreateStoreOutOfSpaceFailsClean: an ENOSPC mid-store leaves no
+// torn file under a durable name — whatever was fully written before
+// the budget ran out survives, the torn write stays a temp (removed on
+// the way out), and the error keeps its errno.
+func TestCreateStoreOutOfSpaceFailsClean(t *testing.T) {
+	spec, _, world, eng := storeFixture(t)
+
+	// Size a budget that bites mid-run: half of what a full store writes.
+	probeDir := t.TempDir()
+	meter := &faults.FS{}
+	if _, err := CreateStoreFS(meter, probeDir, spec, eng, world); err != nil {
+		t.Fatal(err)
+	}
+	budget := meter.Written() / 2
+	if budget == 0 {
+		t.Fatal("store wrote nothing; the fixture is vacuous")
+	}
+
+	dir := t.TempDir()
+	ffs := &faults.FS{Plan: faults.FSPlan{WriteBudget: budget}}
+	_, err := CreateStoreFS(ffs, dir, spec, eng, world)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("out-of-space create: %v, want ENOSPC", err)
+	}
+	ents, lerr := os.ReadDir(dir)
+	if lerr != nil {
+		t.Fatal(lerr)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if strings.Contains(name, ".tmp") {
+			t.Errorf("temp litter survived the failed create: %s", name)
+			continue
+		}
+		// Every durably-named survivor must be a complete write: it went
+		// through the atomic protocol before the budget ran out.
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil || info.Size() == 0 {
+			t.Errorf("torn or empty file under a durable name: %s (%v)", name, err)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package faults
+
+// FS is a deterministic filesystem fault injector implementing
+// storage.FS. It wraps a real (or already-wrapped) filesystem and fails
+// operations on a fixed schedule: a byte budget after which writes
+// return ENOSPC (with realistic short-write semantics — the bytes that
+// fit are written first), a specific write that is torn short, and
+// specific sync or rename calls that fail. The schedule is plain
+// counters, so a test that replays the same operations sees the same
+// faults; there is no randomness here — seed-driven variation belongs
+// in the caller choosing the plan.
+
+import (
+	"fmt"
+	"sync"
+	"syscall"
+
+	"github.com/diurnalnet/diurnal/internal/storage"
+	gofs "io/fs"
+)
+
+// FSPlan schedules filesystem faults. Zero values disable each fault.
+type FSPlan struct {
+	// WriteBudget, when positive, is the total number of bytes File.Write
+	// calls may persist through this FS before further writes fail with
+	// ENOSPC. A write that straddles the budget persists the prefix that
+	// fits (a short write) and fails.
+	WriteBudget int64
+	// ShortWriteAt, when positive, tears the Nth write (1-based) across
+	// all files: half the buffer is written, then ENOSPC is returned.
+	ShortWriteAt int64
+	// FailSyncAt, when positive, fails the Nth sync (1-based), counting
+	// File.Sync and SyncDir calls together.
+	FailSyncAt int64
+	// FailRenameAt, when positive, fails the Nth Rename (1-based).
+	FailRenameAt int64
+}
+
+// FS implements storage.FS with the faults scheduled by Plan.
+type FS struct {
+	Inner storage.FS // defaults to storage.OS
+	Plan  FSPlan
+
+	mu       sync.Mutex
+	written  int64
+	writes   int64
+	syncs    int64
+	renames  int64
+	injected int64
+}
+
+var _ storage.FS = (*FS)(nil)
+
+func (f *FS) inner() storage.FS {
+	if f.Inner == nil {
+		return storage.OS
+	}
+	return f.Inner
+}
+
+// Written reports the bytes successfully persisted through this FS.
+func (f *FS) Written() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// Injected reports how many operations this FS has failed on purpose.
+func (f *FS) Injected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// errInjected wraps syscall errors so failures read as injected in test
+// logs while errors.Is(err, syscall.ENOSPC) still holds.
+func errInjected(op string, errno syscall.Errno) error {
+	return fmt.Errorf("faults: injected %s failure: %w", op, errno)
+}
+
+// allowWrite decides the fate of an n-byte write: how many bytes to pass
+// through and whether to fail afterwards.
+func (f *FS) allowWrite(n int) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writes++
+	if f.Plan.ShortWriteAt > 0 && f.writes == f.Plan.ShortWriteAt {
+		f.injected++
+		short := n / 2
+		f.written += int64(short)
+		return short, errInjected("short write", syscall.ENOSPC)
+	}
+	if f.Plan.WriteBudget > 0 {
+		remain := f.Plan.WriteBudget - f.written
+		if remain < int64(n) {
+			f.injected++
+			if remain < 0 {
+				remain = 0
+			}
+			f.written += remain
+			return int(remain), errInjected("write (budget exhausted)", syscall.ENOSPC)
+		}
+	}
+	f.written += int64(n)
+	return n, nil
+}
+
+func (f *FS) allowSync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncs++
+	if f.Plan.FailSyncAt > 0 && f.syncs == f.Plan.FailSyncAt {
+		f.injected++
+		return errInjected("fsync", syscall.EIO)
+	}
+	return nil
+}
+
+func (f *FS) OpenFile(name string, flag int, perm gofs.FileMode) (storage.File, error) {
+	file, err := f.inner().OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FS) CreateTemp(dir, pattern string) (storage.File, error) {
+	file, err := f.inner().CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	f.renames++
+	fail := f.Plan.FailRenameAt > 0 && f.renames == f.Plan.FailRenameAt
+	if fail {
+		f.injected++
+	}
+	f.mu.Unlock()
+	if fail {
+		return errInjected("rename", syscall.EIO)
+	}
+	return f.inner().Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error { return f.inner().Remove(name) }
+
+func (f *FS) MkdirAll(path string, perm gofs.FileMode) error {
+	return f.inner().MkdirAll(path, perm)
+}
+
+func (f *FS) ReadFile(name string) ([]byte, error) { return f.inner().ReadFile(name) }
+
+func (f *FS) ReadDir(name string) ([]gofs.DirEntry, error) { return f.inner().ReadDir(name) }
+
+func (f *FS) Stat(name string) (gofs.FileInfo, error) { return f.inner().Stat(name) }
+
+func (f *FS) SyncDir(dir string) error {
+	if err := f.allowSync(); err != nil {
+		return err
+	}
+	return f.inner().SyncDir(dir)
+}
+
+// faultFile intercepts the write/sync path of one open file.
+type faultFile struct {
+	storage.File
+	fs *FS
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	allowed, ferr := ff.fs.allowWrite(len(p))
+	if allowed > 0 {
+		n, err := ff.File.Write(p[:allowed])
+		if err != nil {
+			return n, err
+		}
+		if ferr != nil {
+			return n, ferr
+		}
+		return n, nil
+	}
+	if ferr != nil {
+		return 0, ferr
+	}
+	return ff.File.Write(p[:0])
+}
+
+func (ff *faultFile) Sync() error {
+	if err := ff.fs.allowSync(); err != nil {
+		return err
+	}
+	return ff.File.Sync()
+}

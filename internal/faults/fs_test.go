@@ -1,0 +1,101 @@
+package faults
+
+// The filesystem injector's own contract: deterministic 1-based
+// counters, ENOSPC/EIO errnos that survive wrapping, short writes that
+// leave the prefix behind, and an un-budgeted Truncate so rollback works
+// on a full disk.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestFSWriteBudget(t *testing.T) {
+	dir := t.TempDir()
+	fsys := &FS{Plan: FSPlan{WriteBudget: 10}}
+	f, err := fsys.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if n, err := f.Write([]byte("1234567")); n != 7 || err != nil {
+		t.Fatalf("write inside budget: %d, %v", n, err)
+	}
+	n, err := f.Write([]byte("abcdefg"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("budget overrun errno: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("overrun wrote %d bytes, want the 3 that fit", n)
+	}
+	if _, err := f.Write([]byte("z")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("exhausted budget admitted a write: %v", err)
+	}
+	if fsys.Written() != 10 {
+		t.Errorf("Written = %d, want the whole budget", fsys.Written())
+	}
+	if fsys.Injected() < 2 {
+		t.Errorf("Injected = %d, want both refused writes", fsys.Injected())
+	}
+	// Rollback must still work on the "full disk": Truncate is
+	// deliberately un-budgeted.
+	if err := f.Truncate(0); err != nil {
+		t.Errorf("truncate under exhausted budget: %v", err)
+	}
+}
+
+func TestFSShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	fsys := &FS{Plan: FSPlan{ShortWriteAt: 2}}
+	path := filepath.Join(dir, "x")
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Write([]byte("aa")); n != 2 || err != nil {
+		t.Fatalf("first write: %d, %v", n, err)
+	}
+	n, err := f.Write([]byte("bbbb"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("torn write errno: %v", err)
+	}
+	if n <= 0 || n >= 4 {
+		t.Fatalf("torn write wrote %d of 4 bytes; want a strict prefix", n)
+	}
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 2+n {
+		t.Errorf("file holds %d bytes, want the intact prefix %d", len(data), 2+n)
+	}
+}
+
+func TestFSFailSyncAndRename(t *testing.T) {
+	dir := t.TempDir()
+	fsys := &FS{Plan: FSPlan{FailSyncAt: 1, FailRenameAt: 1}}
+	f, err := fsys.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("first sync: %v, want injected EIO", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("second sync should pass: %v", err)
+	}
+	f.Close()
+	if err := fsys.Rename(filepath.Join(dir, "x"), filepath.Join(dir, "y")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("first rename: %v, want injected EIO", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "x")); err != nil {
+		t.Fatalf("refused rename moved the file: %v", err)
+	}
+	if err := fsys.Rename(filepath.Join(dir, "x"), filepath.Join(dir, "y")); err != nil {
+		t.Fatalf("second rename should pass: %v", err)
+	}
+}

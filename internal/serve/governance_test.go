@@ -1,0 +1,179 @@
+package serve
+
+// Storage-governance tests for the snapshot directory: sequence-number
+// derivation under adversarial names, the retention GC's keep/skip
+// rules, the server-side retention and publish-budget paths, and the
+// parent-directory fsync that makes an atomic publish durable.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"github.com/diurnalnet/diurnal/internal/faults"
+	"github.com/diurnalnet/diurnal/internal/storage"
+)
+
+// TestWriteSnapshotSeqSkipsForeign: the next sequence number is one past
+// the maximum parseable sequence, so foreign or malformed *.snap names
+// can neither collide with the new snapshot nor perturb its number.
+func TestWriteSnapshotSeqSkipsForeign(t *testing.T) {
+	dir := t.TempDir()
+	res, sig, start, end := testResult(t)
+	for _, junk := range []string{"zzz.snap", "snap-0000000a.snap", "snap-1.snap", "snap-00000004.snap"} {
+		if err := os.WriteFile(filepath.Join(dir, junk), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, err := WriteSnapshot(dir, res, sig, start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != SnapshotName(5) {
+		t.Errorf("next snapshot = %s, want %s past the max parseable seq", filepath.Base(path), SnapshotName(5))
+	}
+	for _, junk := range []string{"zzz.snap", "snap-0000000a.snap", "snap-1.snap"} {
+		data, err := os.ReadFile(filepath.Join(dir, junk))
+		if err != nil || string(data) != "junk" {
+			t.Errorf("foreign file %s was clobbered (%v)", junk, err)
+		}
+	}
+}
+
+// TestRetainSnapshots covers the GC rules: newest keep survive, in-use
+// candidates are skipped, quarantined and temp files are never touched,
+// and keep < 1 is refused (retention must not empty the directory).
+func TestRetainSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	res, sig, start, end := testResult(t)
+	for i := 0; i < 5; i++ {
+		if _, err := WriteSnapshot(dir, res, sig, start, end); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, junk := range []string{"snap-00000009.snap.quarantined", "snap-00000009.snap.tmp42", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, junk), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pinned := filepath.Join(dir, SnapshotName(0))
+	removed, err := RetainSnapshots(storage.OS, dir, 2, func(path string) bool { return path == pinned })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 || removed[0] != SnapshotName(1) || removed[1] != SnapshotName(2) {
+		t.Errorf("removed %v, want the unpinned oldest two", removed)
+	}
+	for _, want := range []string{SnapshotName(0), SnapshotName(3), SnapshotName(4),
+		"snap-00000009.snap.quarantined", "snap-00000009.snap.tmp42", "notes.txt"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("%s did not survive retention: %v", want, err)
+		}
+	}
+	if _, err := RetainSnapshots(storage.OS, dir, 0, nil); err == nil {
+		t.Error("keep=0 accepted; retention could empty the directory")
+	}
+	// With nothing pinned the directory converges to exactly keep.
+	if _, err := RetainSnapshots(storage.OS, dir, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	names, err := listSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != SnapshotName(4) {
+		t.Errorf("after keep=1: %v, want only the newest", names)
+	}
+}
+
+// TestServerPublishRetains: repeated publishes through a Retain-ing
+// server leave the directory holding only the retained tail once the
+// displaced snapshots have no readers, and the retirements are counted.
+func TestServerPublishRetains(t *testing.T) {
+	dir := t.TempDir()
+	res, sig, start, end := testResult(t)
+	s := New(Config{Dir: dir, ExpectSignature: sig, Retain: 1})
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := s.Publish(res, sig, start, end); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	names, err := listSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != SnapshotName(2) {
+		t.Errorf("directory holds %v, want only the newest snapshot", names)
+	}
+	st := s.StatsNow()
+	if st.Retired < 2 {
+		t.Errorf("retired %d snapshots, want >= 2", st.Retired)
+	}
+	if st.Swaps < 2 {
+		t.Errorf("swaps = %d; publishes did not install", st.Swaps)
+	}
+	if _, path := s.Current(); filepath.Base(path) != SnapshotName(2) {
+		t.Errorf("serving %s, want the newest publish", path)
+	}
+}
+
+// TestServerPublishBudget: a publish that would overrun the disk budget
+// is refused with ErrDiskBudget after a GC retry, leaves the directory
+// untouched, and is counted in stats. The server keeps serving.
+func TestServerPublishBudget(t *testing.T) {
+	dir := t.TempDir()
+	res, sig, start, end := testResult(t)
+	s := New(Config{Dir: dir, ExpectSignature: sig, Retain: 1, DiskBudget: 1})
+	defer s.Close()
+	_, err := s.Publish(res, sig, start, end)
+	if !errors.Is(err, ErrDiskBudget) {
+		t.Fatalf("over-budget publish: got %v, want ErrDiskBudget", err)
+	}
+	names, err := listSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Errorf("refused publish left %v on disk", names)
+	}
+	st := s.StatsNow()
+	if st.PublishRefused != 1 {
+		t.Errorf("publishes_refused = %d, want 1", st.PublishRefused)
+	}
+	if st.DiskBudget != 1 {
+		t.Errorf("disk_budget = %d, want the configured bound", st.DiskBudget)
+	}
+}
+
+// TestSnapshotWriteSyncsDirAfterRename: the publish path fsyncs the
+// parent directory after the rename — the injected filesystem fails the
+// second sync (file sync is the first), and by then the snapshot must
+// already be in place, proving the ordering write → fsync → rename →
+// dir fsync.
+func TestSnapshotWriteSyncsDirAfterRename(t *testing.T) {
+	dir := t.TempDir()
+	res, sig, start, end := testResult(t)
+	ffs := &faults.FS{Plan: faults.FSPlan{FailSyncAt: 2}}
+	_, err := WriteSnapshotFS(ffs, dir, res, sig, start, end)
+	if err == nil {
+		t.Fatal("failed directory fsync not surfaced")
+	}
+	if !strings.Contains(err.Error(), "syncing directory") {
+		t.Fatalf("second sync is not the directory fsync: %v", err)
+	}
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("injected sync failure lost its errno: %v", err)
+	}
+	// The rename preceded the failed directory fsync: the snapshot file
+	// is in place (durability, not visibility, is what the error lost).
+	if _, statErr := os.Stat(filepath.Join(dir, SnapshotName(0))); statErr != nil {
+		t.Errorf("snapshot not renamed into place before the directory fsync: %v", statErr)
+	}
+	if ffs.Injected() != 1 {
+		t.Errorf("injected %d faults, want exactly the planned one", ffs.Injected())
+	}
+}

@@ -116,6 +116,13 @@ func (s *Snapshot) Close() {
 	}
 }
 
+// InUse reports whether the snapshot still holds its backing file —
+// either readers are in flight or Close has not been called. Retention
+// GC must not delete the file under an in-use snapshot.
+func (s *Snapshot) InUse() bool {
+	return !s.closed.Load() || s.refs.Load() > 0
+}
+
 func (s *Snapshot) closeFile() {
 	s.closeOnce.Do(func() {
 		if s.file != nil {

@@ -23,7 +23,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"os"
 	"path/filepath"
 	"strconv"
 	"sync"
@@ -31,8 +30,10 @@ import (
 	"time"
 
 	"github.com/diurnalnet/diurnal/internal/changepoint"
+	"github.com/diurnalnet/diurnal/internal/core"
 	"github.com/diurnalnet/diurnal/internal/geo"
 	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/storage"
 )
 
 // Config tunes a Server. The zero value serves with the defaults noted
@@ -58,6 +59,18 @@ type Config struct {
 	// Dir is the snapshot directory used by LoadLatest and as the
 	// quarantine destination.
 	Dir string
+	// Retain keeps the newest Retain snapshots on disk, garbage-collecting
+	// older ones after each successful install (see RetainSnapshots).
+	// Zero disables retention GC. Snapshots still serving draining
+	// readers and quarantined files are never collected.
+	Retain int
+	// DiskBudget caps Dir's total bytes. Publish refuses to write a
+	// snapshot that would push the directory past it (after trying a
+	// retention pass), returning ErrDiskBudget. Zero means unlimited.
+	DiskBudget int64
+	// FS is the filesystem the swap and retention paths go through
+	// (default storage.OS); tests inject a faults.FS here.
+	FS storage.FS
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +79,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.FS == nil {
+		c.FS = storage.OS
 	}
 	return c
 }
@@ -78,13 +94,21 @@ type Server struct {
 	cur   atomic.Pointer[Snapshot]
 	mux   *http.ServeMux
 
-	// swapMu serializes Install/LoadLatest; queries never take it.
+	// swapMu serializes Install/LoadLatest/Publish; queries never take it.
 	swapMu    sync.Mutex
 	pinnedSig []byte
+	// history holds previously installed snapshots whose readers may
+	// still be draining; retention GC must not delete their files until
+	// the last reader releases. Guarded by swapMu.
+	history []*Snapshot
 
-	swaps       atomic.Uint64
-	quarantined atomic.Uint64
-	lastSwapErr atomic.Value // string
+	swaps          atomic.Uint64
+	quarantined    atomic.Uint64
+	retired        atomic.Uint64
+	publishRefused atomic.Uint64
+	diskBytes      atomic.Int64
+	lastSwapErr    atomic.Value // string
+	lastGCErr      atomic.Value // string
 
 	// revalMu guards the in-flight revalidation set (singleflight).
 	revalMu sync.Mutex
@@ -104,6 +128,7 @@ func New(cfg Config) *Server {
 		reval:     map[string]bool{},
 	}
 	s.lastSwapErr.Store("")
+	s.lastGCErr.Store("")
 	s.mux.HandleFunc("/v1/cell", func(w http.ResponseWriter, r *http.Request) {
 		s.handle(w, r, ClassCell, s.computeCell)
 	})
@@ -124,8 +149,16 @@ func New(cfg Config) *Server {
 // Handler returns the HTTP surface.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close releases the current snapshot.
+// Close releases the current snapshot and any still-draining
+// predecessors.
 func (s *Server) Close() {
+	s.swapMu.Lock()
+	hist := s.history
+	s.history = nil
+	s.swapMu.Unlock()
+	for _, sn := range hist {
+		sn.Close()
+	}
 	if old := s.cur.Swap(nil); old != nil {
 		old.Close()
 	}
@@ -168,8 +201,103 @@ func (s *Server) Install(path string) error {
 	s.lastSwapErr.Store("")
 	if old != nil {
 		old.Close()
+		// Keep the displaced snapshot visible to retention GC until its
+		// last reader drains; its file must outlive in-flight requests.
+		s.history = append(s.history, old)
 	}
+	s.gcLocked()
 	return nil
+}
+
+// gcLocked prunes drained history entries and, when retention is
+// configured, retires snapshots beyond the newest cfg.Retain. Caller
+// holds swapMu.
+func (s *Server) gcLocked() {
+	kept := s.history[:0]
+	for _, sn := range s.history {
+		if sn.InUse() {
+			kept = append(kept, sn)
+		}
+	}
+	s.history = kept
+	if s.cfg.Retain > 0 && s.cfg.Dir != "" {
+		removed, err := RetainSnapshots(s.cfg.FS, s.cfg.Dir, s.cfg.Retain, s.inUsePath)
+		s.retired.Add(uint64(len(removed)))
+		if err != nil {
+			s.lastGCErr.Store(err.Error())
+		} else {
+			s.lastGCErr.Store("")
+		}
+	}
+	s.measureDiskLocked()
+}
+
+// inUsePath reports whether path backs the live snapshot or a
+// predecessor still draining readers. Caller holds swapMu.
+func (s *Server) inUsePath(path string) bool {
+	if sn := s.cur.Load(); sn != nil && sn.Path() == path {
+		return true
+	}
+	for _, sn := range s.history {
+		if sn.Path() == path && sn.InUse() {
+			return true
+		}
+	}
+	return false
+}
+
+// measureDiskLocked refreshes the cached directory byte count so
+// StatsNow stays a pure in-memory read. Caller holds swapMu.
+func (s *Server) measureDiskLocked() {
+	if s.cfg.Dir == "" {
+		return
+	}
+	if n, err := storage.DirBytes(s.cfg.FS, s.cfg.Dir); err == nil {
+		s.diskBytes.Store(n)
+	}
+}
+
+// ErrDiskBudget marks a publish refused because the snapshot directory
+// is at its byte budget and retention GC could not free enough space.
+var ErrDiskBudget = errors.New("serve: snapshot directory over disk budget")
+
+// Publish encodes res, writes it into cfg.Dir under the next sequence
+// number, and installs it — the write side of the serving plane under
+// storage governance. When cfg.DiskBudget is set and the new snapshot
+// would push the directory past it, Publish first runs a retention
+// pass; if the directory is still too full it refuses with
+// ErrDiskBudget, shedding the publish rather than filling the disk,
+// and the server keeps serving the last-good snapshot.
+func (s *Server) Publish(res *core.WorldResult, sig []byte, start, end int64) (string, error) {
+	data, err := EncodeSnapshot(res, sig, start, end)
+	if err != nil {
+		return "", err
+	}
+	s.swapMu.Lock()
+	if s.cfg.DiskBudget > 0 {
+		used, err := storage.DirBytes(s.cfg.FS, s.cfg.Dir)
+		if err != nil {
+			s.swapMu.Unlock()
+			return "", err
+		}
+		if used+int64(len(data)) > s.cfg.DiskBudget {
+			s.gcLocked()
+			used, _ = storage.DirBytes(s.cfg.FS, s.cfg.Dir)
+			if used+int64(len(data)) > s.cfg.DiskBudget {
+				s.publishRefused.Add(1)
+				s.swapMu.Unlock()
+				return "", fmt.Errorf("serve: publishing %d-byte snapshot into %s (%d of %d budget bytes used): %w",
+					len(data), s.cfg.Dir, used, s.cfg.DiskBudget, ErrDiskBudget)
+			}
+		}
+	}
+	path, err := writeSnapshotBytes(s.cfg.FS, s.cfg.Dir, data)
+	s.measureDiskLocked()
+	s.swapMu.Unlock()
+	if err != nil {
+		return "", err
+	}
+	return path, s.Install(path)
 }
 
 // vet runs the full pre-swap check and returns an open snapshot, or
@@ -204,7 +332,7 @@ func (s *Server) vet(path string) (*Snapshot, error) {
 // it; the *.quarantined suffix drops it from listSnapshots.
 func (s *Server) quarantine(path string) {
 	s.quarantined.Add(1)
-	_ = os.Rename(path, path+".quarantined")
+	_ = s.cfg.FS.Rename(path, path+".quarantined")
 }
 
 // LoadLatest scans cfg.Dir newest-first, quarantines snapshots that fail
@@ -634,17 +762,31 @@ type Stats struct {
 	LastSwapErr  string         `json:"last_swap_error,omitempty"`
 	Admission    AdmissionStats `json:"admission"`
 	Cache        CacheStats     `json:"cache"`
+	// Storage governance: snapshots retired by retention GC, publishes
+	// refused at the disk budget, and the snapshot directory's byte
+	// count as of the last install/publish (cached — stats never touch
+	// the disk).
+	Retired        uint64 `json:"snapshots_retired"`
+	PublishRefused uint64 `json:"publishes_refused"`
+	DiskBytes      int64  `json:"disk_bytes"`
+	DiskBudget     int64  `json:"disk_budget,omitempty"`
+	LastGCErr      string `json:"last_gc_error,omitempty"`
 }
 
 // StatsNow snapshots the serving-plane counters (also served on
 // /v1/stats; exported for the load harness and chaos tests).
 func (s *Server) StatsNow() Stats {
 	st := Stats{
-		Swaps:       s.swaps.Load(),
-		Quarantined: s.quarantined.Load(),
-		LastSwapErr: s.lastSwapErr.Load().(string),
-		Admission:   s.admit.stats(),
-		Cache:       s.cache.stats(),
+		Swaps:          s.swaps.Load(),
+		Quarantined:    s.quarantined.Load(),
+		LastSwapErr:    s.lastSwapErr.Load().(string),
+		Admission:      s.admit.stats(),
+		Cache:          s.cache.stats(),
+		Retired:        s.retired.Load(),
+		PublishRefused: s.publishRefused.Load(),
+		DiskBytes:      s.diskBytes.Load(),
+		DiskBudget:     s.cfg.DiskBudget,
+		LastGCErr:      s.lastGCErr.Load().(string),
 	}
 	if sn := s.cur.Load(); sn != nil {
 		st.SnapshotID = sn.ID()

@@ -33,6 +33,7 @@ import (
 	"github.com/diurnalnet/diurnal/internal/core"
 	"github.com/diurnalnet/diurnal/internal/geo"
 	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/storage"
 )
 
 // Snapshot file layout. The file is a contiguous sequence of CRC32C
@@ -784,57 +785,102 @@ const snapSuffix = ".snap"
 // SnapshotName returns the file name for sequence number seq.
 func SnapshotName(seq int) string { return fmt.Sprintf("snap-%08d%s", seq, snapSuffix) }
 
-// writeFileAtomic mirrors dataset.Store's discipline: temp file in the
-// same directory, write, sync, close, rename. A crash at any point leaves
-// either the old file or a *.tmp ignored by every reader.
-func writeFileAtomic(path string, data []byte) error {
-	dir, base := filepath.Split(path)
-	tmp, err := os.CreateTemp(dir, base+".tmp*")
-	if err != nil {
-		return err
+// writeFileAtomic follows the shared storage discipline: temp file in
+// the same directory, write, sync, close, rename, parent-directory
+// fsync (rename alone is not crash-durable — the new directory entry
+// lives in the parent's blocks). A crash at any point leaves either the
+// old file or a *.tmp ignored by every reader.
+func writeFileAtomic(fsys storage.FS, path string, data []byte) error {
+	return storage.WriteBytesAtomic(fsys, path, data)
+}
+
+// parseSnapshotSeq extracts the sequence number from a snapshot file
+// name, reporting whether the name is a canonically numbered snapshot.
+func parseSnapshotSeq(name string) (int, bool) {
+	var seq int
+	if _, err := fmt.Sscanf(name, "snap-%08d", &seq); err != nil {
+		return 0, false
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return err
+	if SnapshotName(seq) != name {
+		return 0, false
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return seq, true
 }
 
 // WriteSnapshot encodes res and atomically writes it into dir under the
 // next free sequence number, returning the snapshot's path. dir is
 // created if missing.
 func WriteSnapshot(dir string, res *core.WorldResult, sig []byte, start, end int64) (string, error) {
+	return WriteSnapshotFS(storage.OS, dir, res, sig, start, end)
+}
+
+// WriteSnapshotFS is WriteSnapshot through an injectable filesystem.
+// The next sequence number is one past the maximum parseable sequence
+// among existing snapshots — not the file count, which could collide
+// with an existing name when the directory holds foreign *.snap files.
+func WriteSnapshotFS(fsys storage.FS, dir string, res *core.WorldResult, sig []byte, start, end int64) (string, error) {
 	data, err := EncodeSnapshot(res, sig, start, end)
 	if err != nil {
 		return "", err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return writeSnapshotBytes(fsys, dir, data)
+}
+
+// writeSnapshotBytes places already-encoded snapshot bytes into dir
+// under the next free sequence number.
+func writeSnapshotBytes(fsys storage.FS, dir string, data []byte) (string, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	names, err := listSnapshots(dir)
+	if err != nil {
 		return "", err
 	}
 	seq := 0
-	if names, err := listSnapshots(dir); err != nil {
-		return "", err
-	} else if len(names) > 0 {
-		last := names[len(names)-1]
-		if _, err := fmt.Sscanf(last, "snap-%08d", &seq); err == nil {
-			seq++
-		} else {
-			seq = len(names)
+	for _, name := range names {
+		if n, ok := parseSnapshotSeq(name); ok && n >= seq {
+			seq = n + 1
 		}
 	}
 	path := filepath.Join(dir, SnapshotName(seq))
-	if err := writeFileAtomic(path, data); err != nil {
+	if err := writeFileAtomic(fsys, path, data); err != nil {
 		return "", err
 	}
 	return path, nil
+}
+
+// RetainSnapshots is the snapshot directory's garbage collector: it
+// deletes every *.snap beyond the newest keep, except snapshots inUse
+// reports as still referenced (the currently served snapshot and any
+// snapshot a draining reader still holds open). Quarantined files
+// (*.snap.quarantined) are never touched — they are forensic evidence,
+// not retention candidates. It returns the deleted names.
+func RetainSnapshots(fsys storage.FS, dir string, keep int, inUse func(path string) bool) ([]string, error) {
+	if keep < 1 {
+		return nil, fmt.Errorf("serve: retention must keep at least 1 snapshot (got %d)", keep)
+	}
+	names, err := listSnapshots(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) <= keep {
+		return nil, nil
+	}
+	var removed []string
+	for _, name := range names[:len(names)-keep] {
+		path := filepath.Join(dir, name)
+		if inUse != nil && inUse(path) {
+			continue
+		}
+		if err := fsys.Remove(path); err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return removed, fmt.Errorf("serve: retiring snapshot %s: %w", path, err)
+		}
+		removed = append(removed, name)
+	}
+	return removed, nil
 }
 
 // listSnapshots returns the *.snap names in dir in ascending lexical

@@ -1,0 +1,121 @@
+package shard
+
+// Ledger.Clean's governance rules: superseded leases and every lease of
+// a done shard are reclaimed, the live shard's top lease and all
+// checkpoint journals are never touched, and temp litter is removed only
+// once it is older than the TTL (younger litter may be a claim still in
+// flight).
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/diurnalnet/diurnal/internal/core"
+	"github.com/diurnalnet/diurnal/internal/health"
+)
+
+func TestLedgerClean(t *testing.T) {
+	clk := health.NewFake()
+	dir := filepath.Join(t.TempDir(), "ledger")
+	opt := Options{TTL: time.Minute, Poll: time.Second, Clock: clk}
+	l, err := Create(dir, []byte{0xcc}, 8, 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, r1 := l.man.Shards[0], l.man.Shards[1]
+
+	// Shard 0: claimed, finished. Its leases are pure history.
+	c0, err := l.Acquire(context.Background(), "w0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0.Shard.Index != r0.Index {
+		t.Fatalf("first claim took shard %d", c0.Shard.Index)
+	}
+	if err := c0.Done(DoneMarker{Analyzed: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shard 1: claimed, expired, taken over — a superseded lease under a
+	// live top one, plus a journal the takeover must resume from.
+	c1, err := l.tryClaim(r1, "w1")
+	if err != nil || c1 == nil {
+		t.Fatalf("claim shard 1: %v, %v", c1, err)
+	}
+	cp, err := core.OpenCheckpoint(c1.JournalPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(opt.TTL + time.Second)
+	c2, err := l.tryClaim(r1, "w2")
+	if err != nil || c2 == nil {
+		t.Fatalf("takeover of shard 1: %v, %v", c2, err)
+	}
+	if c2.Token != c1.Token+1 {
+		t.Fatalf("takeover token %d after %d", c2.Token, c1.Token)
+	}
+
+	// Litter: aged temp files are abandoned; young ones may belong to a
+	// claim still in flight.
+	aged := []string{".claim-w9-stale", "merge.tmp42"}
+	for _, name := range aged {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		old := time.Unix(1, 0)
+		if err := os.Chtimes(path, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh := filepath.Join(dir, ".claim-w3-inflight")
+	if err := os.WriteFile(fresh, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	now := clk.Now()
+	if err := os.Chtimes(fresh, now, now); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := l.Clean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reclaimed: shard 0's lease (done), shard 1's superseded lease, and
+	// the aged litter. That is exactly 2 + len(aged) names.
+	if len(removed) != 2+len(aged) {
+		t.Fatalf("Clean removed %v, want shard-0 lease, superseded shard-1 lease, and aged litter", removed)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("young temp litter was reclaimed: %v", err)
+	}
+	for _, name := range aged {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Errorf("aged litter %s survived: %v", name, err)
+		}
+	}
+	// The live top lease still fences and renews; the journal survived.
+	if err := c2.Check(); err != nil {
+		t.Errorf("live lease broken by Clean: %v", err)
+	}
+	if err := c2.Renew(); err != nil {
+		t.Errorf("live lease cannot renew after Clean: %v", err)
+	}
+	if _, err := os.Stat(c1.JournalPath()); err != nil {
+		t.Errorf("checkpoint journal reclaimed by Clean: %v", err)
+	}
+	// Idempotent: a second pass finds nothing.
+	removed, err = l.Clean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 0 {
+		t.Errorf("second Clean removed %v", removed)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"github.com/diurnalnet/diurnal/internal/core"
 	"github.com/diurnalnet/diurnal/internal/dataset"
 	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/storage"
 )
 
 // DeadLetterEntry is one quarantined block.
@@ -144,7 +145,7 @@ func (s *DeadLetterStore) record(index int, id netsim.BlockID, cause error, work
 	if err != nil {
 		return err
 	}
-	err = writeFileAtomic(path, func(f *os.File) error {
+	err = writeFileAtomic(path, func(f storage.File) error {
 		_, err := f.Write(envelope)
 		return err
 	})

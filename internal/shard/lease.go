@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 
 	"github.com/diurnalnet/diurnal/internal/core"
+	"github.com/diurnalnet/diurnal/internal/storage"
 )
 
 // leaseRecord is the JSON body of a lease file.
@@ -153,7 +154,7 @@ func (c *Claim) Renew() error {
 	if err != nil {
 		return err
 	}
-	err = writeFileAtomic(c.path, func(f *os.File) error {
+	err = writeFileAtomic(c.path, func(f storage.File) error {
 		_, err := f.Write(data)
 		return err
 	})
@@ -173,7 +174,7 @@ func (c *Claim) Done(m DoneMarker) error {
 	if err != nil {
 		return err
 	}
-	err = writeFileAtomic(c.ledger.donePath(c.Shard.Index), func(f *os.File) error {
+	err = writeFileAtomic(c.ledger.donePath(c.Shard.Index), func(f storage.File) error {
 		_, err := f.Write(data)
 		return err
 	})
@@ -220,5 +221,10 @@ func createExclusive(path string, rec *leaseRecord) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Link(tmp.Name(), path)
+	if err := os.Link(tmp.Name(), path); err != nil {
+		return err
+	}
+	// The new directory entry lives in the parent's blocks; without this
+	// fsync a crash could forget a lease another worker already observed.
+	return storage.OS.SyncDir(filepath.Dir(path))
 }

@@ -38,9 +38,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/diurnalnet/diurnal/internal/health"
+	"github.com/diurnalnet/diurnal/internal/storage"
 )
 
 const manifestName = "manifest.json"
@@ -133,7 +135,7 @@ func Create(dir string, sig []byte, blocks, shards int, opt Options) (*Ledger, e
 	if err != nil {
 		return nil, err
 	}
-	err = writeFileAtomic(filepath.Join(dir, manifestName), func(f *os.File) error {
+	err = writeFileAtomic(filepath.Join(dir, manifestName), func(f storage.File) error {
 		_, err := f.Write(data)
 		return err
 	})
@@ -262,26 +264,69 @@ func (l *Ledger) done(shard int) (*DoneMarker, bool) {
 	return &m, true
 }
 
-// writeFileAtomic writes data to path via a temp file in the same
-// directory, fsyncs it, and renames it into place — same discipline as the
-// dataset store, so readers never observe a torn file under a final name.
-func writeFileAtomic(path string, write func(f *os.File) error) error {
-	dir, base := filepath.Split(path)
-	tmp, err := os.CreateTemp(dir, base+".tmp*")
+// writeFileAtomic writes data to path through the shared storage
+// discipline (temp file, write, fsync, rename, parent-directory fsync)
+// — same contract as the dataset store, so readers never observe a torn
+// file under a final name and the rename itself is crash-durable.
+func writeFileAtomic(path string, write func(f storage.File) error) error {
+	return storage.WriteFileAtomic(storage.OS, path, write)
+}
+
+// Clean garbage-collects the ledger's reclaimable artifacts: superseded
+// lease files (every token below a live shard's top), all leases of
+// completed shards, and temp litter older than the lease TTL left by
+// crashed claimers and renamers (.claim* and *.tmp* files). Checkpoint
+// journals are never removed — the merge step reads every token's
+// journal to apply its precedence rules — and a live shard's top lease
+// is the fence, so it is never touched either. Clean returns the names
+// it removed and is safe to run concurrently with active workers.
+func (l *Ledger) Clean() ([]string, error) {
+	var removed []string
+	for _, r := range l.man.Shards {
+		leases, err := l.tokenFiles(r.Index, "lease")
+		if err != nil {
+			return removed, err
+		}
+		if len(leases) == 0 {
+			continue
+		}
+		_, isDone := l.done(r.Index)
+		top := len(leases) - 1
+		for i, lf := range leases {
+			if !isDone && i == top {
+				continue
+			}
+			if err := os.Remove(lf.Path); err != nil {
+				if errors.Is(err, fs.ErrNotExist) {
+					continue
+				}
+				return removed, fmt.Errorf("shard: cleaning lease %s: %w", lf.Path, err)
+			}
+			removed = append(removed, filepath.Base(lf.Path))
+		}
+	}
+	entries, err := os.ReadDir(l.dir)
 	if err != nil {
-		return err
+		return removed, fmt.Errorf("shard: listing ledger: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := write(tmp); err != nil {
-		tmp.Close()
-		return err
+	// Temp litter younger than the TTL may belong to a claim or rename
+	// still in flight; only aged litter is provably abandoned.
+	cutoff := l.clock.Now().Add(-l.ttl)
+	for _, e := range entries {
+		name := e.Name()
+		if !e.Type().IsRegular() {
+			continue
+		}
+		if !strings.HasPrefix(name, ".claim") && !strings.Contains(name, ".tmp") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(l.dir, name)); err == nil {
+			removed = append(removed, name)
+		}
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return removed, nil
 }

@@ -1,0 +1,176 @@
+// Package storage is the filesystem seam shared by every durable writer
+// in the repo: the stream WALs, the checkpoint journal, the dataset
+// store, and the serve snapshot plane all write through an FS value
+// instead of calling the os package directly. The seam exists for two
+// reasons. First, crash-durability rules live in one place: the
+// WriteFileAtomic helper here is the only correct spelling of
+// "temp file, write, fsync, rename, fsync parent directory" — rename
+// alone is not durable, because the directory entry lives in the parent
+// directory's own blocks. Second, every failure path becomes testable:
+// faults.FS implements the same interface with a deterministic schedule
+// of ENOSPC, short writes, and failed fsyncs/renames, so the governance
+// layer's degradation contract is exercised by ordinary unit tests
+// instead of waiting for a full disk in production.
+package storage
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is the writable-file surface durable writers need. *os.File
+// satisfies it directly.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Name() string
+}
+
+// FS is the filesystem surface durable writers need. OS is the real
+// implementation; faults.FS wraps any FS with injected failures.
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm fs.FileMode) error
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Stat(name string) (fs.FileInfo, error)
+	// SyncDir fsyncs a directory, making previously renamed or created
+	// entries inside it durable.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (osFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)      { return os.Stat(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteFileAtomic durably replaces path with the bytes produced by
+// write: temp file in the same directory, write, fsync, close, rename
+// over path, fsync the parent directory. After it returns nil the new
+// contents survive both process death and power loss; on any error the
+// previous contents of path are untouched and the temp file is removed
+// (unless the process is killed first — callers that must guarantee
+// zero litter sweep "*.tmp*" siblings on open).
+func WriteFileAtomic(fsys FS, path string, write func(File) error) error {
+	dir := filepath.Dir(path)
+	f, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("storage: creating temp for %s: %w", path, err)
+	}
+	tmp := f.Name()
+	defer fsys.Remove(tmp)
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: writing %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: syncing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("storage: closing %s: %w", path, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return fmt.Errorf("storage: renaming %s into place: %w", path, err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("storage: syncing directory %s: %w", dir, err)
+	}
+	return nil
+}
+
+// WriteBytesAtomic is WriteFileAtomic for callers that already hold the
+// full contents.
+func WriteBytesAtomic(fsys FS, path string, data []byte) error {
+	return WriteFileAtomic(fsys, path, func(f File) error {
+		_, err := f.Write(data)
+		return err
+	})
+}
+
+// DirBytes sums the sizes of the regular files directly inside dir
+// (non-recursive). A missing directory counts as zero bytes; it is the
+// disk-budget accountant's view of a journal or snapshot directory.
+func DirBytes(fsys FS, dir string) (int64, error) {
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	var total int64
+	for _, e := range ents {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // raced with a delete; the entry no longer counts
+		}
+		total += info.Size()
+	}
+	return total, nil
+}
+
+// TreeBytes sums regular-file sizes under root recursively — the
+// experiment-facing "total disk used by this run" measure.
+func TreeBytes(root string) (int64, error) {
+	var total int64
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if d.Type().IsRegular() {
+			if info, err := d.Info(); err == nil {
+				total += info.Size()
+			}
+		}
+		return nil
+	})
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	return total, err
+}

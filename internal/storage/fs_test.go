@@ -1,0 +1,102 @@
+package storage_test
+
+// The atomic-write contract and the byte accountants, exercised through
+// both the real filesystem and the fault injector (the injector lives in
+// internal/faults, which imports this package — hence the external test
+// package).
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"github.com/diurnalnet/diurnal/internal/faults"
+	"github.com/diurnalnet/diurnal/internal/storage"
+)
+
+func TestWriteBytesAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := storage.WriteBytesAtomic(storage.OS, path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.WriteBytesAtomic(storage.OS, path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "v2" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Errorf("temp litter survived the atomic write: %v", ents)
+	}
+}
+
+// TestWriteBytesAtomicFailedRenameKeepsOld: when the rename is refused
+// the previous contents are untouched and the temp file is cleaned up.
+func TestWriteBytesAtomicFailedRenameKeepsOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := storage.WriteBytesAtomic(storage.OS, path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	ffs := &faults.FS{Plan: faults.FSPlan{FailRenameAt: 1}}
+	err := storage.WriteBytesAtomic(ffs, path, []byte("new"))
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("injected rename failure lost its errno: %v", err)
+	}
+	data, rerr := os.ReadFile(path)
+	if rerr != nil || string(data) != "old" {
+		t.Fatalf("previous contents disturbed: %q, %v", data, rerr)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Errorf("temp litter survived the failed write: %v", ents)
+	}
+}
+
+// TestWriteBytesAtomicDirFsyncOrdering: the parent-directory fsync is
+// the last step, after the rename — the injected filesystem fails the
+// second sync (the first is the temp file's), and the new contents must
+// already be in place.
+func TestWriteBytesAtomicDirFsyncOrdering(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	ffs := &faults.FS{Plan: faults.FSPlan{FailSyncAt: 2}}
+	err := storage.WriteBytesAtomic(ffs, path, []byte("v1"))
+	if err == nil || !strings.Contains(err.Error(), "syncing directory") {
+		t.Fatalf("second sync is not the directory fsync: %v", err)
+	}
+	if data, rerr := os.ReadFile(path); rerr != nil || string(data) != "v1" {
+		t.Fatalf("rename did not precede the directory fsync: %q, %v", data, rerr)
+	}
+}
+
+func TestDirBytesAndTreeBytes(t *testing.T) {
+	root := t.TempDir()
+	if n, err := storage.DirBytes(storage.OS, filepath.Join(root, "missing")); n != 0 || err != nil {
+		t.Fatalf("missing dir = %d, %v; want 0 bytes, nil", n, err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "a"), make([]byte, 10), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(root, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "sub", "b"), make([]byte, 7), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := storage.DirBytes(storage.OS, root); n != 10 || err != nil {
+		t.Errorf("DirBytes = %d, %v; want the 10 non-recursive bytes", n, err)
+	}
+	if n, err := storage.TreeBytes(root); n != 17 || err != nil {
+		t.Errorf("TreeBytes = %d, %v; want all 17 bytes", n, err)
+	}
+}

@@ -28,20 +28,25 @@ package stream
 
 import (
 	"context"
+	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sync"
+	"syscall"
 	"time"
 
 	"github.com/diurnalnet/diurnal/internal/core"
 	"github.com/diurnalnet/diurnal/internal/dataset"
 )
 
-const (
-	roundsWALName = "rounds.wal"
-	eventsWALName = "events.wal"
-)
+// ErrDiskPressure reports that an admission was shed because the
+// daemon's disk budget was exhausted even after compaction. The WALs
+// are intact and the daemon keeps running; the caller decides whether
+// to retry, alert, or stop.
+var ErrDiskPressure = errors.New("stream: disk budget exhausted; round shed")
+
+// isNoSpace reports whether err is an out-of-space write failure (real
+// or injected by faults.FS).
+func isNoSpace(err error) bool { return errors.Is(err, syscall.ENOSPC) }
 
 // Daemon is a crash-safe streaming analysis service over one world. All
 // methods are safe for concurrent use.
@@ -69,6 +74,13 @@ type Daemon struct {
 	aborted   bool
 	err       error
 	progress  chan struct{} // closed and replaced on every state change
+
+	// Storage governance.
+	sheds          int64  // rounds refused under disk pressure
+	lastStorageErr string // most recent storage-plane failure
+	lastCompactSeq int64  // nextSeq at the last rounds compaction (-1: never)
+	lastAckCount   int64  // journaled count at the last events compaction (-1: never)
+	lastGov        govSnapshot
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -99,45 +111,66 @@ func Open(dir string, world []*dataset.WorldBlock, obsCount int, cfg Config) (*D
 	if obsCount <= 0 {
 		return nil, fmt.Errorf("stream: observer count %d", obsCount)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := cfg.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("stream: creating %s: %w", dir, err)
 	}
 	d := &Daemon{
-		cfg:      cfg,
-		world:    world,
-		obsCount: obsCount,
-		sig:      core.RunSignature(cfg.Core, world),
-		dir:      dir,
-		progress: make(chan struct{}),
+		cfg:            cfg,
+		world:          world,
+		obsCount:       obsCount,
+		sig:            core.RunSignature(cfg.Core, world),
+		dir:            dir,
+		progress:       make(chan struct{}),
+		lastCompactSeq: -1,
+		lastAckCount:   -1,
 	}
 	d.ctx, d.cancel = context.WithCancel(context.Background())
 
 	det := newDetector(cfg, world, obsCount)
 	var regen []Event
-	rw, err := openWAL(filepath.Join(dir, roundsWALName), d.sig, func(df decodedFrame) error {
-		if df.Round == nil {
-			return fmt.Errorf("unexpected %q frame in round WAL", df.Tag)
-		}
-		evs, err := det.ingest(df.Round)
+	rw, err := openWAL(cfg.FS, dir, "rounds", d.sig, cfg.SegmentBytes, func(df decodedFrame) error {
+		rs, err := d.frameRounds(df)
 		if err != nil {
 			return err
 		}
-		regen = append(regen, evs...)
+		for _, r := range rs {
+			evs, err := det.ingest(r)
+			if err != nil {
+				return err
+			}
+			regen = append(regen, evs...)
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	d.rounds = rw
-	ew, err := openWAL(filepath.Join(dir, eventsWALName), d.sig, func(df decodedFrame) error {
-		if df.Event == nil {
+	sawAck := false
+	ew, err := openWAL(cfg.FS, dir, "events", d.sig, cfg.SegmentBytes, func(df decodedFrame) error {
+		switch df.Tag {
+		case frameEventsAck:
+			// A compacted event journal opens with the count of events the
+			// round WAL regenerates deterministically; their bodies were
+			// subsumed by the base segment.
+			if sawAck || len(d.journaled) != 0 {
+				return fmt.Errorf("event ack frame after %d journaled events", len(d.journaled))
+			}
+			sawAck = true
+			if df.Ack.Count < 0 || df.Ack.Count > int64(len(regen)) {
+				return fmt.Errorf("event journal acks %d events but the round WAL regenerates only %d; WAL pair is inconsistent", df.Ack.Count, len(regen))
+			}
+			d.journaled = append(d.journaled, regen[:df.Ack.Count]...)
+			return nil
+		case frameEvent:
+			if want := int64(len(d.journaled)); df.Event.Seq != want {
+				return fmt.Errorf("event journal seq %d, expected %d", df.Event.Seq, want)
+			}
+			d.journaled = append(d.journaled, *df.Event)
+			return nil
+		default:
 			return fmt.Errorf("unexpected %q frame in event WAL", df.Tag)
 		}
-		if want := int64(len(d.journaled)); df.Event.Seq != want {
-			return fmt.Errorf("event journal seq %d, expected %d", df.Event.Seq, want)
-		}
-		d.journaled = append(d.journaled, *df.Event)
-		return nil
 	})
 	if err != nil {
 		rw.close(false)
@@ -161,11 +194,10 @@ func Open(dir string, world []*dataset.WorldBlock, obsCount int, cfg Config) (*D
 	}
 	// Events the crash cut off: re-journal and deliver them now.
 	for _, ev := range regen[len(d.journaled):] {
-		if err := d.events.append(frameEvent, ev); err != nil {
+		if err := d.appendEventLocked(ev); err != nil {
 			d.closeFiles(false)
 			return nil, err
 		}
-		d.journaled = append(d.journaled, ev)
 		if cfg.OnEvent != nil {
 			cfg.OnEvent(ev)
 		}
@@ -174,6 +206,111 @@ func Open(dir string, world []*dataset.WorldBlock, obsCount int, cfg Config) (*D
 	d.detStats = snapshotDet(det)
 	d.nextSeq = det.processed
 	return d, nil
+}
+
+// frameRounds expands one round-WAL data frame into the rounds it
+// journals: an 'R' frame is one round, a 'K' base frame is every round
+// up to its compaction point, reconstructed bit-identically.
+func (d *Daemon) frameRounds(df decodedFrame) ([]*Round, error) {
+	switch df.Tag {
+	case frameRound:
+		return []*Round{df.Round}, nil
+	case frameCompactRounds:
+		return expandCompactBase(df.Base, d.cfg, len(d.world), d.obsCount)
+	default:
+		return nil, fmt.Errorf("unexpected %q frame in round WAL", df.Tag)
+	}
+}
+
+// govSnapshot mirrors the storage-governance counters Stats reports, so
+// they survive Close.
+type govSnapshot struct {
+	diskBytes   int64
+	segments    int
+	rotations   int64
+	compactions int64
+}
+
+func (d *Daemon) govLocked() govSnapshot {
+	if d.rounds == nil || d.events == nil {
+		return d.lastGov
+	}
+	return govSnapshot{
+		diskBytes:   d.rounds.total + d.events.total,
+		segments:    len(d.rounds.segs) + len(d.events.segs),
+		rotations:   d.rounds.rotations + d.events.rotations,
+		compactions: d.rounds.compactions + d.events.compactions,
+	}
+}
+
+// compactRoundsLocked rewrites the round WAL as a single base segment.
+// It is lossless: the journaled rounds are collected by replay,
+// re-encoded columnarly, and reconstruct bit-identically, so replay
+// identity — and with it event identity — is unaffected. A no-op when
+// nothing was admitted since the last compaction (the base is already
+// minimal).
+func (d *Daemon) compactRoundsLocked() error {
+	if d.nextSeq == d.lastCompactSeq {
+		return nil
+	}
+	var rounds []*Round
+	if err := d.rounds.replayAll(func(df decodedFrame) error {
+		rs, err := d.frameRounds(df)
+		if err != nil {
+			return err
+		}
+		rounds = append(rounds, rs...)
+		return nil
+	}); err != nil {
+		d.lastStorageErr = err.Error()
+		return err
+	}
+	cb, err := buildCompactBase(rounds, len(d.world), d.obsCount)
+	if err != nil {
+		d.lastStorageErr = err.Error()
+		return err
+	}
+	payload, err := encodeStreamFrame(frameCompactRounds, cb)
+	if err != nil {
+		d.lastStorageErr = err.Error()
+		return err
+	}
+	if err := d.rounds.compact(payload); err != nil {
+		d.lastStorageErr = err.Error()
+		return err
+	}
+	d.lastCompactSeq = d.nextSeq
+	return nil
+}
+
+// compactEventsLocked rewrites the event WAL as a single base segment
+// holding one ack frame: every journaled event is regenerable from the
+// round WAL, so only the count needs to survive. A no-op when no event
+// was journaled since the last compaction.
+func (d *Daemon) compactEventsLocked() error {
+	if int64(len(d.journaled)) == d.lastAckCount {
+		return nil
+	}
+	payload, err := encodeStreamFrame(frameEventsAck, eventsAck{Count: int64(len(d.journaled))})
+	if err != nil {
+		d.lastStorageErr = err.Error()
+		return err
+	}
+	if err := d.events.compact(payload); err != nil {
+		d.lastStorageErr = err.Error()
+		return err
+	}
+	d.lastAckCount = int64(len(d.journaled))
+	return nil
+}
+
+// compactAllLocked compacts both journals, keeping the first error.
+func (d *Daemon) compactAllLocked() error {
+	err := d.compactRoundsLocked()
+	if eerr := d.compactEventsLocked(); err == nil {
+		err = eerr
+	}
+	return err
 }
 
 // Start launches the analysis loop and, when configured, the watchdog.
@@ -234,13 +371,46 @@ func (d *Daemon) Ingest(ctx context.Context, r *Round) error {
 			d.mu.Lock()
 		}
 	}
-	if err := d.rounds.append(frameRound, r); err != nil {
+	payload, err := encodeStreamFrame(frameRound, r)
+	if err != nil {
 		return err
+	}
+	// Disk-budget accounting: if admitting this frame would overrun the
+	// budget, compact first; if the journals still cannot fit it, shed
+	// the round — the WALs stay intact and the daemon keeps serving.
+	need := int64(len(payload)) + frameOverhead
+	if d.cfg.DiskBudget > 0 && d.govLocked().diskBytes+need > d.cfg.DiskBudget {
+		d.compactAllLocked()
+		if got := d.govLocked().diskBytes; got+need > d.cfg.DiskBudget {
+			d.sheds++
+			d.lastStorageErr = fmt.Sprintf("disk budget %d exhausted: journals hold %d bytes, round %d needs %d more", d.cfg.DiskBudget, got, r.Seq, need)
+			return fmt.Errorf("stream: admitting round %d: %w", r.Seq, ErrDiskPressure)
+		}
+	}
+	if err := d.rounds.appendPayload(payload); err != nil {
+		// An out-of-space append was rolled back to the last intact frame;
+		// compaction may free enough to retry once.
+		if !isNoSpace(err) {
+			d.lastStorageErr = err.Error()
+			return err
+		}
+		d.compactAllLocked()
+		if err = d.rounds.appendPayload(payload); err != nil {
+			d.sheds++
+			d.lastStorageErr = err.Error()
+			if isNoSpace(err) {
+				return fmt.Errorf("stream: admitting round %d: %v: %w", r.Seq, err, ErrDiskPressure)
+			}
+			return err
+		}
 	}
 	d.nextSeq++
 	d.queue = append(d.queue, r)
 	if len(d.queue) > d.maxDepth {
 		d.maxDepth = len(d.queue)
+	}
+	if d.cfg.CompactBytes > 0 && d.rounds.total > d.cfg.CompactBytes {
+		d.compactRoundsLocked() // best-effort; failure is surfaced in stats
 	}
 	d.bump()
 	return nil
@@ -262,6 +432,25 @@ func (d *Daemon) validateShape(r *Round) error {
 			return fmt.Errorf("stream: round %d block %d has %d observer streams, expected %d", r.Seq, b, len(perObs), d.obsCount)
 		}
 	}
+	return nil
+}
+
+// appendEventLocked journals one event, retrying once after an
+// out-of-space failure by compacting the event journal (its whole
+// history collapses to one ack frame, so compaction almost always
+// frees room).
+func (d *Daemon) appendEventLocked(ev Event) error {
+	err := d.events.append(frameEvent, ev)
+	if err != nil && isNoSpace(err) {
+		if cerr := d.compactEventsLocked(); cerr == nil {
+			err = d.events.append(frameEvent, ev)
+		}
+	}
+	if err != nil {
+		d.lastStorageErr = err.Error()
+		return err
+	}
+	d.journaled = append(d.journaled, ev)
 	return nil
 }
 
@@ -333,14 +522,16 @@ func (d *Daemon) loop(gen int64, det *detector) {
 			return
 		}
 		for _, ev := range evs {
-			if err := d.events.append(frameEvent, ev); err != nil {
+			if err := d.appendEventLocked(ev); err != nil {
 				d.err = err
 				d.cancel()
 				d.bump()
 				d.mu.Unlock()
 				return
 			}
-			d.journaled = append(d.journaled, ev)
+		}
+		if d.cfg.CompactBytes > 0 && d.events.total > d.cfg.CompactBytes {
+			d.compactEventsLocked() // best-effort; failure is surfaced in stats
 		}
 		d.queue = d.queue[1:]
 		onEvent := d.cfg.OnEvent
@@ -391,38 +582,29 @@ func (d *Daemon) restartLocked() error {
 	d.busy = false
 	det := newDetector(d.cfg, d.world, d.obsCount)
 	var regen []Event
-	data, err := os.ReadFile(filepath.Join(d.dir, roundsWALName))
-	if err != nil {
-		return fmt.Errorf("stream: watchdog rebuild: %w", err)
-	}
-	var replayErr error
-	core.WalkFrames(data, func(payload []byte) error {
-		df, err := decodeStreamFrame(payload)
+	if err := d.rounds.replayAll(func(df decodedFrame) error {
+		rs, err := d.frameRounds(df)
 		if err != nil {
 			return err
 		}
-		if df.Round == nil {
-			return nil
+		for _, r := range rs {
+			evs, err := det.ingest(r)
+			if err != nil {
+				return err
+			}
+			regen = append(regen, evs...)
 		}
-		evs, err := det.ingest(df.Round)
-		if err != nil {
-			replayErr = err
-			return err
-		}
-		regen = append(regen, evs...)
 		return nil
-	})
-	if replayErr != nil {
-		return fmt.Errorf("stream: watchdog rebuild: %w", replayErr)
+	}); err != nil {
+		return fmt.Errorf("stream: watchdog rebuild: %w", err)
 	}
 	// Journal and deliver whatever the fenced loop had derived but not
 	// yet committed.
 	var deliver []Event
 	for _, ev := range regen[len(d.journaled):] {
-		if err := d.events.append(frameEvent, ev); err != nil {
+		if err := d.appendEventLocked(ev); err != nil {
 			return err
 		}
-		d.journaled = append(d.journaled, ev)
 		deliver = append(deliver, ev)
 	}
 	d.det = det
@@ -514,6 +696,7 @@ func snapshotDet(det *detector) detSnapshot {
 func (d *Daemon) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	gov := d.govLocked()
 	return Stats{
 		IngestedRounds:  d.nextSeq,
 		ProcessedRounds: d.detStats.processed,
@@ -523,6 +706,13 @@ func (d *Daemon) Stats() Stats {
 		MaxQueueDepth:   d.maxDepth,
 		BlockErrors:     d.detStats.blockErrs,
 		DiurnalScores:   append([]float64(nil), d.detStats.scores...),
+		DiskBytes:       gov.diskBytes,
+		DiskBudget:      d.cfg.DiskBudget,
+		WALSegments:     gov.segments,
+		Rotations:       gov.rotations,
+		Compactions:     gov.compactions,
+		PressureSheds:   d.sheds,
+		LastStorageErr:  d.lastStorageErr,
 	}
 }
 
@@ -566,6 +756,7 @@ func (d *Daemon) Abort() {
 }
 
 func (d *Daemon) closeFiles(sync bool) error {
+	d.lastGov = d.govLocked()
 	var first error
 	if d.rounds != nil {
 		if err := d.rounds.close(sync); err != nil && first == nil {

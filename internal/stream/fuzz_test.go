@@ -12,6 +12,7 @@ import (
 	"github.com/diurnalnet/diurnal/internal/core"
 	"github.com/diurnalnet/diurnal/internal/netsim"
 	"github.com/diurnalnet/diurnal/internal/probe"
+	"github.com/diurnalnet/diurnal/internal/storage"
 )
 
 // fuzzWALBytes builds a small valid WAL (header, one round, one event) to
@@ -19,8 +20,7 @@ import (
 func fuzzWALBytes(f *testing.F) []byte {
 	f.Helper()
 	dir := f.TempDir()
-	path := filepath.Join(dir, "seed.wal")
-	w, err := openWAL(path, []byte("fuzz-sig"), func(decodedFrame) error { return nil })
+	w, err := openWAL(storage.OS, dir, "seed", []byte("fuzz-sig"), 0, func(decodedFrame) error { return nil })
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func fuzzWALBytes(f *testing.F) []byte {
 	if err := w.close(true); err != nil {
 		f.Fatal(err)
 	}
-	data, err := os.ReadFile(path)
+	data, err := os.ReadFile(filepath.Join(dir, "seed-00000001.wal"))
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -65,13 +65,14 @@ func FuzzStreamFrameDecode(f *testing.F) {
 		// panics not.
 		_, _ = decodeStreamFrame(data)
 
-		// Layer 2: the full WAL open — replay, signature check, torn-tail
-		// truncation — over the bytes as a file.
-		path := filepath.Join(t.TempDir(), "fuzz.wal")
-		if err := os.WriteFile(path, data, 0o644); err != nil {
+		// Layer 2: the full WAL open — legacy adoption, replay, signature
+		// check, torn-tail truncation — over the bytes as a
+		// pre-segmentation journal file.
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "fuzz.wal"), data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		w, err := openWAL(path, []byte("fuzz-sig"), func(decodedFrame) error { return nil })
+		w, err := openWAL(storage.OS, dir, "fuzz", []byte("fuzz-sig"), 0, func(decodedFrame) error { return nil })
 		if err != nil {
 			return
 		}

@@ -32,6 +32,7 @@ import (
 	"github.com/diurnalnet/diurnal/internal/health"
 	"github.com/diurnalnet/diurnal/internal/netsim"
 	"github.com/diurnalnet/diurnal/internal/probe"
+	"github.com/diurnalnet/diurnal/internal/storage"
 )
 
 // Config parameterizes a streaming daemon. Zero fields take defaults.
@@ -69,6 +70,27 @@ type Config struct {
 	// restarted from the WAL (state rebuild is the same deterministic
 	// replay as crash recovery). Zero disables the watchdog.
 	Watchdog time.Duration
+	// SegmentBytes is the WAL rotation threshold (default 8 MiB, minimum
+	// 4 KiB): once a journal's tail segment exceeds it, the tail is
+	// sealed and appends move to a fresh segment, so compaction and
+	// retention operate on bounded files.
+	SegmentBytes int64
+	// CompactBytes, when positive, bounds a journal's total size: when a
+	// WAL exceeds it, the journal is rewritten as a single
+	// checkpoint-anchored base segment (lossless — replay identity is
+	// preserved) and the subsumed segments are deleted. Zero disables
+	// size-triggered compaction. Must be at least SegmentBytes.
+	CompactBytes int64
+	// DiskBudget, when positive, bounds the bytes the daemon's journals
+	// may occupy together. When an admission would exceed it even after
+	// compaction, Ingest sheds the round with ErrDiskPressure instead of
+	// corrupting a WAL; the caller decides whether to retry, alert, or
+	// stop. Must be at least SegmentBytes.
+	DiskBudget int64
+	// FS is the filesystem the journals are written through (default the
+	// real filesystem). Tests substitute a faults.FS here to script
+	// ENOSPC, short writes, and failed fsyncs.
+	FS storage.FS
 	// Clock injects time for the watchdog (default wall clock).
 	Clock health.Clock
 	// OnEvent, when non-nil, is invoked for every event after it is
@@ -96,6 +118,12 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = health.System
 	}
+	if c.SegmentBytes == 0 {
+		c.SegmentBytes = 8 << 20
+	}
+	if c.FS == nil {
+		c.FS = storage.OS
+	}
 	return c
 }
 
@@ -111,6 +139,15 @@ func (c Config) validate() error {
 	}
 	if c.MaxQueue < 1 {
 		return fmt.Errorf("stream: max queue %d", c.MaxQueue)
+	}
+	if c.SegmentBytes < 4096 {
+		return fmt.Errorf("stream: WAL segment threshold %d bytes (minimum 4096)", c.SegmentBytes)
+	}
+	if c.CompactBytes < 0 || (c.CompactBytes > 0 && c.CompactBytes < c.SegmentBytes) {
+		return fmt.Errorf("stream: WAL compaction threshold %d bytes must be 0 or >= the segment threshold %d", c.CompactBytes, c.SegmentBytes)
+	}
+	if c.DiskBudget < 0 || (c.DiskBudget > 0 && c.DiskBudget < c.SegmentBytes) {
+		return fmt.Errorf("stream: disk budget %d bytes must be 0 or >= the segment threshold %d", c.DiskBudget, c.SegmentBytes)
 	}
 	return nil
 }
@@ -191,4 +228,18 @@ type Stats struct {
 	// DiurnalScores holds each block's current sliding-DFT diurnal score
 	// (zero until the block's hourly window fills).
 	DiurnalScores []float64
+	// DiskBytes is the bytes the daemon's journals occupy right now;
+	// DiskBudget echoes the configured bound (0: unlimited).
+	DiskBytes, DiskBudget int64
+	// WALSegments counts live segment files across both journals.
+	WALSegments int
+	// Rotations and Compactions count WAL segment rollovers and
+	// base-segment rewrites since open.
+	Rotations, Compactions int64
+	// PressureSheds counts rounds refused admission because the disk
+	// budget was exhausted even after compaction.
+	PressureSheds int64
+	// LastStorageErr is the most recent storage-plane failure message
+	// (shed, failed append, failed compaction), empty if none.
+	LastStorageErr string
 }
