@@ -37,9 +37,11 @@ fsck: build
 # soak runs the deterministic short chaos soak against the streaming
 # daemon: fault-injected observers, seeded-random SIGKILLs, and the full
 # invariant suite (prefix identity, exact resume, latency bound) on every
-# incarnation. The nightly CI job runs the longer randomized variant.
+# incarnation. The byzantine leg reruns the kill loop with one lying
+# observer and the integrity firewall armed. The nightly CI job runs the
+# longer randomized variants.
 soak:
-	$(GO) test ./internal/stream/ -run 'TestChaosSoakShort|TestChaosSoakDiskPressure' -v
+	$(GO) test ./internal/stream/ -run 'TestChaosSoakShort|TestChaosSoakDiskPressure|TestByzantineSoakShort' -v
 
 experiments:
 	$(GO) run ./cmd/experiments

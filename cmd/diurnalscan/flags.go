@@ -18,6 +18,7 @@ type cliFlags struct {
 	workers        int
 	quorum         int
 	breaker, hedge bool
+	integrity      bool
 	resumePath     string
 	deadLetterDir  string
 	saveDir        string
@@ -110,6 +111,9 @@ func (f *cliFlags) validate() error {
 		}
 	}
 	sharded := f.workerDir != "" || f.mergeDir != ""
+	if sharded && f.integrity {
+		return fmt.Errorf("-integrity does not combine with -worker/-merge: sharded runs do not thread the firewall yet")
+	}
 	if !sharded {
 		for _, name := range []string{"shards", "workerid", "lease"} {
 			if f.set[name] {
@@ -137,7 +141,7 @@ func (f *cliFlags) validate() error {
 		if f.snapshotDir == "" {
 			return fmt.Errorf("-serve requires -snapshot DIR: the server needs a snapshot directory to load from and quarantine into")
 		}
-		for _, name := range []string{"daemon", "worker", "merge", "verify", "resume", "save", "report", "deadletter", "breaker", "hedge", "quorum"} {
+		for _, name := range []string{"daemon", "worker", "merge", "verify", "resume", "save", "report", "deadletter", "breaker", "hedge", "quorum", "integrity"} {
 			if f.set[name] {
 				return fmt.Errorf("-%s does not combine with -serve: the server answers from a published snapshot, not a live run", name)
 			}
@@ -162,7 +166,7 @@ func (f *cliFlags) validate() error {
 		}
 	}
 	if f.verifyDir != "" {
-		for _, name := range []string{"worker", "merge", "shards", "resume", "deadletter", "save", "report", "daemon"} {
+		for _, name := range []string{"worker", "merge", "shards", "resume", "deadletter", "save", "report", "daemon", "integrity"} {
 			if f.set[name] {
 				return fmt.Errorf("-verify checks an archived store and exits; -%s does not combine with it", name)
 			}

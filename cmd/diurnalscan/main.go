@@ -8,7 +8,7 @@
 //	            [-start YYYY-MM-DD] [-end YYYY-MM-DD] [-calendar 2020|2023|none]
 //	            [-cells N] [-days N] [-region CODE]
 //	            [-resume FILE] [-timeout DUR] [-verify DIR] [-deadletter DIR]
-//	            [-breaker] [-hedge] [-quorum N]
+//	            [-breaker] [-hedge] [-quorum N] [-integrity]
 //	            [-worker DIR [-shards N] [-workerid ID] [-lease DUR]]
 //	            [-merge DIR]
 //	            [-daemon DIR [-roundlen DUR] [-refresh N] [-confirm N]
@@ -36,6 +36,15 @@
 // blocks past an adaptive latency deadline (requires -breaker, whose
 // pre-scan seeds the deadline model), and -quorum N flags blocks
 // analyzed with records from fewer than N observers.
+//
+// Data integrity: -integrity arms the data-integrity firewall against
+// observers that lie rather than fail. Each observer's stream is judged
+// per block against sanity gates (in-window timestamps, target-list
+// membership, duplicate and reply-rate ceilings) and a cross-observer
+// agreement score; a stream that trips a gate is excluded from that
+// block's merge and attributed in the output, and contested
+// observations among the surviving streams resolve by observer
+// majority. Applies to plain and -daemon runs.
 //
 // Sharded runs: -worker DIR runs this process as one worker of a
 // multi-process fleet sharing the shard ledger at DIR. The first worker
@@ -102,6 +111,9 @@
 // healthy to a load balancer while answering nothing. -daemon exits 6
 // when the WAL directory hit its -diskbudget and a round was shed: the
 // journal is consistent but the stream needs more disk to continue.
+// -integrity runs exit 7 when the firewall gated at least one observer
+// stream: the results exclude the untrusted data and name the gated
+// observers, but the input was tampered with and deserves a look.
 package main
 
 import (
@@ -149,6 +161,7 @@ func main() {
 	breaker := flag.Bool("breaker", false, "supervise observers with runtime circuit breakers (implies the pre-scan health check)")
 	hedge := flag.Bool("hedge", false, "re-dispatch straggler blocks past an adaptive latency deadline (requires -breaker)")
 	quorum := flag.Int("quorum", 0, "flag blocks analyzed with fewer than this many observers (0 disables)")
+	integrity := flag.Bool("integrity", false, "arm the data-integrity firewall: gate lying observer streams out of the merge and resolve contested observations by majority")
 	deadLetterDir := flag.String("deadletter", "", "quarantine poison blocks into this directory and skip them on later runs")
 	workerDir := flag.String("worker", "", "run as one worker of a sharded fleet sharing the ledger at this directory")
 	shards := flag.Int("shards", 0, "with -worker: create the ledger with this many shards (0 opens an existing ledger)")
@@ -183,6 +196,7 @@ func main() {
 		quorum:        *quorum,
 		breaker:       *breaker,
 		hedge:         *hedge,
+		integrity:     *integrity,
 		resumePath:    *resumePath,
 		deadLetterDir: *deadLetterDir,
 		saveDir:       *saveDir,
@@ -252,6 +266,7 @@ func main() {
 		os.Exit(1)
 	}
 	cfg := diurnal.DefaultConfig(start, end)
+	cfg.Integrity = *integrity
 	// Classify on the first four weeks, the paper's pre-Covid baseline.
 	cfg.BaselineStart = start
 	if end-start > 28*diurnal.SecondsPerDay {
@@ -361,6 +376,7 @@ func main() {
 			Hedge:          *hedge,
 			Quorum:         *quorum,
 			DeadLetterPath: *deadLetterDir,
+			Integrity:      *integrity,
 		})
 		if perr := stopProfiles(); perr != nil {
 			fmt.Fprintln(os.Stderr, perr)
@@ -404,6 +420,9 @@ func main() {
 		responsive, report.ChangeSensitiveCount(), len(report.Cells))
 	if *breaker || *hedge || *quorum > 0 {
 		printSupervisor(world, report, *quorum)
+	}
+	if *integrity {
+		printIntegrity(world, report)
 	}
 
 	if *region != "" {
@@ -468,13 +487,62 @@ const exitAuditFailed = 4
 // consistent, but the stream could not finish on this much disk.
 const exitDiskPressure = 6
 
+// exitIntegrity is the -integrity exit code when the firewall gated at
+// least one observer stream: the results are computed from the trusted
+// remainder, but the input was tampered with.
+const exitIntegrity = 7
+
 func exitIfDegraded(report *diurnal.Report) {
 	if !report.Report.Degraded() {
 		return
 	}
+	if n := len(report.Report.GatedStreams); n > 0 {
+		fmt.Fprintf(os.Stderr, "run completed DEGRADED: integrity firewall gated %d observer stream(s) across %d block verdicts\n",
+			n, len(report.Report.IntegrityVerdicts))
+		os.Exit(exitIntegrity)
+	}
 	fmt.Fprintf(os.Stderr, "run completed DEGRADED: %d breakers open, %d blocks below quorum, %d blocks dead-lettered\n",
 		len(report.Report.BreakerOpen), len(report.Report.QuorumShortfalls), len(report.Report.DeadLettered))
 	os.Exit(exitDegraded)
+}
+
+// printIntegrity renders the firewall summary: per-observer aggregate
+// agreement and which observers had streams gated, with the gate each
+// tripped first.
+func printIntegrity(world *diurnal.World, report *diurnal.Report) {
+	rep := report.Report
+	names := world.Engine().Names()
+	name := func(i int) string {
+		if i >= 0 && i < len(names) {
+			return names[i]
+		}
+		return fmt.Sprintf("#%d", i)
+	}
+	if len(rep.AgreementScores) > 0 {
+		fmt.Printf("integrity: observer agreement")
+		for i, s := range rep.AgreementScores {
+			fmt.Printf("  %s=%.2f", name(i), s)
+		}
+		fmt.Println()
+	}
+	if len(rep.GatedStreams) == 0 {
+		fmt.Println("integrity: no observer streams gated")
+		fmt.Println()
+		return
+	}
+	gated := map[int]int{}
+	reason := map[int]string{}
+	for _, v := range rep.IntegrityVerdicts {
+		gated[v.Observer]++
+		if _, ok := reason[v.Observer]; !ok {
+			reason[v.Observer] = v.Reason
+		}
+	}
+	for _, oi := range rep.GatedStreams {
+		fmt.Printf("  gated: observer %s excluded from %d block(s) (first gate: %s)\n",
+			name(oi), gated[oi], reason[oi])
+	}
+	fmt.Println()
 }
 
 // runDaemon streams the world through the crash-safe ingestion daemon,

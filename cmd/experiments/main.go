@@ -67,6 +67,7 @@ func catalog() []experiment {
 		{"ablation-persistence", "persistence-rule sweep (§2.4)", wrap(experiments.AblationPersistence)},
 		{"ablation-outagefilter", "pair filter vs belief-based outage masking (§2.6)", wrap(experiments.AblationOutageFilter)},
 		{"robustness", "detection accuracy under injected measurement faults", wrap(experiments.Robustness)},
+		{"byzantine", "detection accuracy with one lying observer vs the integrity firewall", wrap(experiments.Byzantine)},
 		{"crashresume", "kill-and-resume produces identical results (checkpoint journal)", wrap(experiments.CrashResume)},
 		{"supervisor", "runtime breakers, hedged stragglers, quorum guard (self-healing)", wrap(experiments.Supervisor)},
 		{"shardfailover", "kill -9 a leaseholder mid-shard; fenced takeover merges byte-identical", wrap(experiments.ShardFailover)},

@@ -237,6 +237,13 @@ type RunOptions struct {
 	// later run sharing the directory. Skips and give-ups are listed in
 	// Report.Report.DeadLettered, and such a run reports Degraded.
 	DeadLetterPath string
+	// Integrity enables the data-integrity firewall: per-observer
+	// per-block sanity gates exclude untrustworthy streams from the
+	// merge, contested observations among the survivors resolve by
+	// observer majority, and gated streams are attributed in
+	// Report.Report.GatedStreams/IntegrityVerdicts (such a run reports
+	// Degraded). Off, results are bit-identical to prior releases.
+	Integrity bool
 }
 
 // Run probes and analyzes the whole world under cfg.
@@ -256,6 +263,9 @@ func (w *World) RunContext(ctx context.Context, cfg Config, opts RunOptions) (*R
 		BlockTimeout: opts.BlockTimeout,
 		MaxRetries:   opts.MaxRetries,
 		Quorum:       opts.Quorum,
+	}
+	if opts.Integrity {
+		p.Config.Integrity = true
 	}
 	if opts.Breaker {
 		b := health.DefaultBreaker()

@@ -78,6 +78,13 @@ type Config struct {
 	// duplicated/reordered/skewed records a faulty collector produces.
 	// DefaultConfig enables it; the tally lands in BlockAnalysis.Sanitize.
 	SanitizeRecords bool
+	// Integrity enables the data-integrity firewall (internal/integrity):
+	// per-observer per-block sanity gates exclude untrustworthy streams
+	// from the merge, and contested (time, addr) observations among the
+	// surviving streams resolve by observer majority instead of
+	// last-write-wins. Off by default — with it off, results are
+	// bit-identical to prior releases.
+	Integrity bool
 	// MaxGapHours marks resampled trend bins farther than this many hours
 	// from any real measurement as low-confidence; detections whose point
 	// of change falls in such a gap move to BlockAnalysis.LowConfChanges
@@ -262,6 +269,9 @@ func (cfg Config) analyzeCollected(perObs [][]probe.Record, eb []int, sc *Scratc
 		}
 	}
 	sc.merged = reconstruct.MergeInto(sc.merged, perObs)
+	if c.Integrity {
+		sc.merged = reconstruct.ResolveContested(sc.merged)
+	}
 	series, err := reconstruct.Reconstruct(sc.merged, eb)
 	if err != nil {
 		return nil, err
@@ -673,6 +683,9 @@ func (cfg Config) prepareBlockScratch(ctx context.Context, eng Prober, b *netsim
 		}
 	}
 	sc.merged = reconstruct.MergeInto(sc.merged, sc.perObs)
+	if c.Integrity {
+		sc.merged = reconstruct.ResolveContested(sc.merged)
+	}
 	series, err := reconstruct.Reconstruct(sc.merged, eb)
 	if err != nil {
 		return preparedBlock{}, err

@@ -64,14 +64,14 @@ func (p *Pipeline) effectiveBatchSize(workers int, admit chan struct{}) int {
 // only as their blocks settle, so backpressure still counts unfinished
 // work.
 func (p *Pipeline) batchWorker(ctx context.Context, eng Prober, sup *supervisedProber,
-	res *WorldResult, world []*dataset.WorldBlock, jobs <-chan int, admit chan struct{},
-	batch int, sc *Scratch, mu *sync.Mutex, journalErr *error, resumed, retried *int) {
+	integ *integrityProber, res *WorldResult, world []*dataset.WorldBlock, jobs <-chan int,
+	admit chan struct{}, batch int, sc *Scratch, mu *sync.Mutex, journalErr *error, resumed, retried *int) {
 	pending := make([]int, 0, batch)
 	flush := func() {
 		if len(pending) == 0 {
 			return
 		}
-		p.runBatch(ctx, eng, sup, res, world, pending, sc, mu, journalErr, retried)
+		p.runBatch(ctx, eng, sup, integ, res, world, pending, sc, mu, journalErr, retried)
 		if admit != nil {
 			for range pending {
 				<-admit
@@ -106,7 +106,7 @@ type batchSlot struct {
 // runBatch analyzes one batch of blocks: per-block prepare, one batched
 // classification pass, per-block finish and delivery in batch order.
 func (p *Pipeline) runBatch(ctx context.Context, eng Prober, sup *supervisedProber,
-	res *WorldResult, world []*dataset.WorldBlock, idxs []int, sc *Scratch,
+	integ *integrityProber, res *WorldResult, world []*dataset.WorldBlock, idxs []int, sc *Scratch,
 	mu *sync.Mutex, journalErr *error, retried *int) {
 	cfg := p.Config.withDefaults()
 	slots := make([]batchSlot, len(idxs))
@@ -138,7 +138,7 @@ func (p *Pipeline) runBatch(ctx context.Context, eng Prober, sup *supervisedProb
 				analysis, s.err = p.finishPrepared(cfg, s.prep, cls[k], sc)
 			}
 		}
-		p.deliverOutcome(ctx, sup, res, s.i, s.wb, analysis, s.attempts, s.err, mu, journalErr, retried)
+		p.deliverOutcome(ctx, sup, integ, res, s.i, s.wb, analysis, s.attempts, s.err, mu, journalErr, retried)
 	}
 }
 

@@ -121,14 +121,31 @@ type RunReport struct {
 	// WorldResult.Blocks entries carry a nil Analysis, and they do not
 	// appear in BlockErrors.
 	DeadLettered []BlockError
+	// GatedStreams lists observers the data-integrity firewall excluded
+	// from at least one block's merge (ascending; nil when
+	// Config.Integrity is off or nothing was gated). A gated observer
+	// marks the run degraded: its data was judged untrustworthy, not
+	// merely missing.
+	GatedStreams []int
+	// AgreementScores are the per-observer aggregate cross-observer
+	// agreement scores (matching votes / compared votes over all
+	// committed blocks; 1 for observers with no peer overlap). Nil when
+	// Config.Integrity is off.
+	AgreementScores []float64
+	// IntegrityVerdicts attributes every gated (block, observer) stream
+	// with the gate it tripped, ordered by block index then observer.
+	// Nil when Config.Integrity is off or nothing was gated.
+	IntegrityVerdicts []IntegrityVerdict
 }
 
 // Degraded reports whether the run finished in degraded mode: observers
 // still tripped out by their breakers, blocks analyzed below the observer
-// quorum, or blocks dead-lettered out of the run. Scripted runs use this
-// (via diurnalscan's exit code) to detect partial-confidence output.
+// quorum, blocks dead-lettered out of the run, or observer streams gated
+// by the data-integrity firewall. Scripted runs use this (via
+// diurnalscan's exit code) to detect partial-confidence output.
 func (r *RunReport) Degraded() bool {
-	return len(r.BreakerOpen) > 0 || len(r.QuorumShortfalls) > 0 || len(r.DeadLettered) > 0
+	return len(r.BreakerOpen) > 0 || len(r.QuorumShortfalls) > 0 || len(r.DeadLettered) > 0 ||
+		len(r.GatedStreams) > 0
 }
 
 // WorldResult aggregates a whole-world pipeline run.
@@ -284,6 +301,15 @@ func (p *Pipeline) Run(ctx context.Context, world []*dataset.WorldBlock) (*World
 	// around the engine, so the pre-scan and the breaker agree on
 	// exclusion yet the breaker can still readmit a recovered observer.
 	eng := p.Engine
+	// The integrity firewall wraps the raw engine directly — inside the
+	// exclusion and supervision layers — so its gates judge what the
+	// observers actually reported, and everything downstream (pre-scan
+	// drops, breaker drops, reply-rate samples) sees the gated view.
+	var integ *integrityProber
+	if cfg.Integrity {
+		integ = newIntegrityProber(eng)
+		eng = integ
+	}
 	var tracker *health.Tracker
 	if p.Breaker != nil {
 		tracker = health.NewTracker(*p.Breaker)
@@ -299,7 +325,7 @@ func (p *Pipeline) Run(ctx context.Context, world []*dataset.WorldBlock) (*World
 			for _, oi := range excluded {
 				drop[oi] = true
 			}
-			eng = &excludeProber{inner: p.Engine, drop: drop}
+			eng = &excludeProber{inner: eng, drop: drop}
 		}
 	}
 	var sup *supervisedProber
@@ -350,13 +376,13 @@ func (p *Pipeline) Run(ctx context.Context, world []*dataset.WorldBlock) (*World
 			// worker's whole share of the world.
 			sc := NewScratch()
 			if batch > 1 {
-				p.batchWorker(ctx, eng, sup, res, world, jobs, admit, batch, sc,
+				p.batchWorker(ctx, eng, sup, integ, res, world, jobs, admit, batch, sc,
 					&mu, &journalErr, &resumed, &retried)
 				return
 			}
 			for i := range jobs {
 				wb := world[i]
-				p.runBlock(ctx, eng, sup, hed, res, i, wb, sc, &mu, &journalErr, &resumed, &retried)
+				p.runBlock(ctx, eng, sup, integ, hed, res, i, wb, sc, &mu, &journalErr, &resumed, &retried)
 				if admit != nil {
 					<-admit
 				}
@@ -392,6 +418,9 @@ dispatch:
 	}
 	if hed != nil {
 		res.Report.HedgedBlocks, res.Report.HedgeWins = hed.stats()
+	}
+	if integ != nil {
+		integ.report(res.Report)
 	}
 	if err := ctx.Err(); err != nil {
 		return res, fmt.Errorf("core: run interrupted: %w", err)
@@ -436,8 +465,8 @@ dispatch:
 // runBlock takes one block from checkpoint lookup through analysis
 // (hedged when a watchdog is attached) to delivery: result slot, health
 // commit, and the exactly-once journal append.
-func (p *Pipeline) runBlock(ctx context.Context, eng Prober, sup *supervisedProber, hed *hedger,
-	res *WorldResult, i int, wb *dataset.WorldBlock, sc *Scratch,
+func (p *Pipeline) runBlock(ctx context.Context, eng Prober, sup *supervisedProber, integ *integrityProber,
+	hed *hedger, res *WorldResult, i int, wb *dataset.WorldBlock, sc *Scratch,
 	mu *sync.Mutex, journalErr *error, resumed, retried *int) {
 	if p.resolveWithoutAnalysis(res, i, wb, mu, resumed) {
 		return
@@ -452,7 +481,7 @@ func (p *Pipeline) runBlock(ctx context.Context, eng Prober, sup *supervisedProb
 	} else {
 		analysis, attempts, err = p.analyzeBlock(ctx, eng, wb, sc)
 	}
-	p.deliverOutcome(ctx, sup, res, i, wb, analysis, attempts, err, mu, journalErr, retried)
+	p.deliverOutcome(ctx, sup, integ, res, i, wb, analysis, attempts, err, mu, journalErr, retried)
 }
 
 // resolveWithoutAnalysis handles the two pre-analysis short circuits —
@@ -487,10 +516,11 @@ func (p *Pipeline) resolveWithoutAnalysis(res *WorldResult, i int, wb *dataset.W
 
 // deliverOutcome lands one analyzed (or failed) block: the retried tally,
 // the error path (supervision discard, dead-lettering, BlockError), or the
-// success path (health commit, result slot, exactly-once journal append).
-// Both the per-block worker and the batch scheduler funnel through it.
-func (p *Pipeline) deliverOutcome(ctx context.Context, sup *supervisedProber, res *WorldResult,
-	i int, wb *dataset.WorldBlock, analysis *BlockAnalysis, attempts int, err error,
+// success path (integrity commit, health commit, result slot, exactly-once
+// journal append). Both the per-block worker and the batch scheduler
+// funnel through it.
+func (p *Pipeline) deliverOutcome(ctx context.Context, sup *supervisedProber, integ *integrityProber,
+	res *WorldResult, i int, wb *dataset.WorldBlock, analysis *BlockAnalysis, attempts int, err error,
 	mu *sync.Mutex, journalErr *error, retried *int) {
 	if attempts > 1 {
 		mu.Lock()
@@ -498,6 +528,9 @@ func (p *Pipeline) deliverOutcome(ctx context.Context, sup *supervisedProber, re
 		mu.Unlock()
 	}
 	if err != nil {
+		if integ != nil {
+			integ.discard(wb.ID)
+		}
 		if sup != nil {
 			sup.discard(wb.ID)
 		}
@@ -528,10 +561,18 @@ func (p *Pipeline) deliverOutcome(ctx context.Context, sup *supervisedProber, re
 		return
 	}
 	outcome := BlockOutcome{ID: wb.ID, Place: wb.Place, Analysis: analysis}
+	// Exactly one integrity/health commit per completed block, whichever
+	// attempt's collection it came from. The firewall's verdicts land in
+	// the run aggregates, and its agreement samples override the
+	// supervisor's reply-rate samples where peer overlap gave them
+	// meaning — so breakers open on persistent liars, not just dead
+	// streams.
+	var agree []health.Sample
+	if integ != nil {
+		agree = integ.commit(i, wb.ID)
+	}
 	if sup != nil {
-		// Exactly one commit per completed block, whichever attempt's
-		// collection it came from: this is what feeds the breakers.
-		if n := sup.commit(wb.ID); n >= 0 && p.Quorum > 0 {
+		if n := sup.commit(wb.ID, agree); n >= 0 && p.Quorum > 0 {
 			outcome.Observers = n
 		}
 	}

@@ -79,8 +79,12 @@ func (s *supervisedProber) EmitsSanitizedRecords() bool { return proberEmitsClea
 
 // commit consumes the block's pending observation, feeds it to the
 // tracker, and returns the contributing-observer count (-1 when no
-// collection for the block was seen, e.g. a resumed block).
-func (s *supervisedProber) commit(id netsim.BlockID) int {
+// collection for the block was seen, e.g. a resumed block). Entries of
+// override with a positive Total replace the corresponding reply-rate
+// samples — the integrity firewall substitutes agreement scores there,
+// so a lying observer scores by how much its peers contradict it rather
+// than by how often it answers.
+func (s *supervisedProber) commit(id netsim.BlockID, override []health.Sample) int {
 	s.mu.Lock()
 	o, ok := s.obs[id]
 	delete(s.obs, id)
@@ -89,6 +93,11 @@ func (s *supervisedProber) commit(id netsim.BlockID) int {
 		return -1
 	}
 	if s.tracker != nil {
+		for i := range o.samples {
+			if i < len(override) && override[i].Total > 0 {
+				o.samples[i] = override[i]
+			}
+		}
 		s.tracker.ObserveBlock(o.samples)
 	}
 	return o.contributing

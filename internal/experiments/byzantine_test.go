@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/diurnalnet/diurnal/internal/faults"
+)
+
+// TestByzantineContract is the integrity firewall's acceptance contract,
+// swept at full severity only to bound runtime: for every attack the
+// attacker must be gated and attributed, no honest observer may be
+// gated, and armed recall must hold at least 90% of the clean baseline.
+func TestByzantineContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-severity byzantine sweep in -short mode")
+	}
+	r, err := byzantine(Options{}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(faults.AttackNames) {
+		t.Fatalf("rows %d != attacks %d", len(r.Rows), len(faults.AttackNames))
+	}
+	// The armed firewall on honest streams must gate nothing and still
+	// find changes to defend.
+	if r.CleanGated != 0 {
+		t.Fatalf("clean run gated %d streams", r.CleanGated)
+	}
+	if r.CleanRecall == 0 {
+		t.Fatal("clean run detected no WFH changes; the sweep has nothing to defend")
+	}
+	for _, row := range r.Rows {
+		if !row.AttackerGated {
+			t.Errorf("%s: attacker not gated", row.Attack)
+		}
+		if row.Reason == "" {
+			t.Errorf("%s: gated without an attributed reason", row.Attack)
+		}
+		if row.HonestGated != 0 {
+			t.Errorf("%s: %d honest observers gated", row.Attack, row.HonestGated)
+		}
+		if row.Recall < 0.9*r.CleanRecall {
+			t.Errorf("%s: armed recall %.2f below 0.9x clean %.2f",
+				row.Attack, row.Recall, r.CleanRecall)
+		}
+	}
+	// The sweep only demonstrates the firewall if at least one attack
+	// visibly hurts the disarmed pipeline.
+	damaged := false
+	for _, row := range r.Rows {
+		if row.RawRecall < 0.9*r.CleanRecall {
+			damaged = true
+		}
+	}
+	if !damaged {
+		t.Error("no attack degraded the disarmed pipeline; the sweep proves nothing")
+	}
+	out := r.String()
+	for _, want := range []string{"attacker gated", "raw recall", "honest gated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestByzantineGrid checks the default sweep shape cheaply: a tiny world
+// still produces one row per (attack, severity) cell.
+func TestByzantineGrid(t *testing.T) {
+	r, err := Byzantine(Options{Blocks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(faults.AttackNames) * len(ByzantineSeverities); len(r.Rows) != want {
+		t.Fatalf("rows %d, want %d", len(r.Rows), want)
+	}
+	for i, row := range r.Rows {
+		wantSev := ByzantineSeverities[i%len(ByzantineSeverities)]
+		if row.Severity != wantSev {
+			t.Errorf("row %d severity %.2f, want %.2f", i, row.Severity, wantSev)
+		}
+	}
+}

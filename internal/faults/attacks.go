@@ -1,0 +1,271 @@
+package faults
+
+// Byzantine data attacks: observers that lie rather than fail. Each
+// injector rewrites one observer's collected record stream into
+// well-formed but wrong data — the adversaries internal/integrity's
+// firewall gates on. All decisions are deterministic for a fixed plan
+// seed (see doc.go); record streams are grouped into equal-timestamp
+// runs (one probing round each) and decisions are drawn per run.
+
+import (
+	"fmt"
+
+	"github.com/diurnalnet/diurnal/internal/netsim"
+	"github.com/diurnalnet/diurnal/internal/probe"
+)
+
+// hash salts for the attack injectors, continuing the faults.go series.
+const (
+	saltDupFlood uint64 = 0xfa0a
+	saltReplay   uint64 = 0xfa0b
+	saltTimeLie  uint64 = 0xfa0c
+	saltSpoof    uint64 = 0xfa0d
+)
+
+// RateLimitCliff models ICMP rate limiting at the observer or its
+// upstream: positive replies are capped per aligned time window, and
+// positives above the cap are reported as non-responsive. The carved-out
+// positives track the block's busiest hours, so the stream grows fake
+// diurnal dips that masquerade as activity changes (the Covid-WFH tech
+// report's rate-limiting artifact). Entirely deterministic — no seed is
+// consulted; the cliff is a function of the stream itself.
+type RateLimitCliff struct {
+	// Window is the cap's accounting window in seconds, aligned to the
+	// epoch (default 3600 — per-hour caps, the common router default).
+	Window int64
+	// MaxUp is how many positive replies survive per window; every
+	// further positive is flipped to down. Zero caps them all.
+	MaxUp int
+}
+
+// apply flips positives above the cap in place.
+func (a *RateLimitCliff) apply(records []probe.Record) {
+	win := a.Window
+	if win <= 0 {
+		win = 3600
+	}
+	started := false
+	var cur int64
+	ups := 0
+	for i := range records {
+		if !records[i].Up {
+			continue
+		}
+		w := records[i].T / win
+		if !started || w != cur {
+			started, cur, ups = true, w, 0
+		}
+		if ups >= a.MaxUp {
+			records[i].Up = false
+			continue
+		}
+		ups++
+	}
+}
+
+// DuplicateFlood re-emits whole probing rounds several times over: a
+// selected equal-timestamp run appears Copies extra times, inflating
+// duplicate (time, addr) observations — a collector replaying its send
+// queue, or a middlebox duplicating replies.
+type DuplicateFlood struct {
+	// Prob is the per-round probability the round is flooded.
+	Prob float64
+	// Copies is how many extra copies of the round are emitted
+	// (default 3).
+	Copies int
+}
+
+// apply returns the flooded stream (a fresh slice when any round fired).
+func (a *DuplicateFlood) apply(seed, obs, block uint64, records []probe.Record) []probe.Record {
+	copies := a.Copies
+	if copies <= 0 {
+		copies = 3
+	}
+	var out []probe.Record
+	dirty := false
+	for ri, i := uint64(0), 0; i < len(records); ri++ {
+		j := i + 1
+		for j < len(records) && records[j].T == records[i].T {
+			j++
+		}
+		run := records[i:j]
+		if netsim.HashUnit(seed, obs, block, ri, saltDupFlood) < a.Prob {
+			if !dirty {
+				out = append(out, records[:i]...)
+				dirty = true
+			}
+			for c := 0; c <= copies; c++ {
+				out = append(out, run...)
+			}
+		} else if dirty {
+			out = append(out, run...)
+		}
+		i = j
+	}
+	if !dirty {
+		return records
+	}
+	return out
+}
+
+// StaleReplay re-emits a previous round's records: after a selected
+// round, the observer appends a verbatim copy of the round before it —
+// original timestamps included — so stale observations re-enter the
+// stream out of order and, in a streaming round, outside the round's
+// admission window.
+type StaleReplay struct {
+	// Prob is the per-round probability the previous round is replayed
+	// after it.
+	Prob float64
+}
+
+// apply returns the stream with replays appended (a fresh slice when any
+// round fired).
+func (a *StaleReplay) apply(seed, obs, block uint64, records []probe.Record) []probe.Record {
+	var out []probe.Record
+	var prev []probe.Record
+	dirty := false
+	for ri, i := uint64(0), 0; i < len(records); ri++ {
+		j := i + 1
+		for j < len(records) && records[j].T == records[i].T {
+			j++
+		}
+		run := records[i:j]
+		if prev != nil && netsim.HashUnit(seed, obs, block, ri, saltReplay) < a.Prob {
+			if !dirty {
+				out = append(out, records[:j]...)
+				dirty = true
+			} else {
+				out = append(out, run...)
+			}
+			out = append(out, prev...)
+		} else if dirty {
+			out = append(out, run...)
+		}
+		prev = run
+		i = j
+	}
+	if !dirty {
+		return records
+	}
+	return out
+}
+
+// TimestampLie shifts whole rounds far out of the collection window: a
+// selected round's timestamps move by Shift seconds, misplacing its
+// observations in time — a collector with a corrupted clock serializing
+// garbage epochs.
+type TimestampLie struct {
+	// Prob is the per-round probability the round is shifted.
+	Prob float64
+	// Shift is the displacement in seconds (default +90 days, far
+	// outside any analysis window).
+	Shift int64
+}
+
+// apply shifts selected rounds in place.
+func (a *TimestampLie) apply(seed, obs, block uint64, records []probe.Record) {
+	shift := a.Shift
+	if shift == 0 {
+		shift = 90 * netsim.SecondsPerDay
+	}
+	for ri, i := uint64(0), 0; i < len(records); ri++ {
+		j := i + 1
+		for j < len(records) && records[j].T == records[i].T {
+			j++
+		}
+		if netsim.HashUnit(seed, obs, block, ri, saltTimeLie) < a.Prob {
+			for k := i; k < j; k++ {
+				records[k].T += shift
+			}
+		}
+		i = j
+	}
+}
+
+// SpoofPositive forges positive replies for addresses the round never
+// probed: each round gains PerRound fabricated up-records drawn from the
+// addresses absent from it. Most land outside the block's target list
+// E(b) (tripping the integrity firewall's membership gate); the rest
+// claim activity for real addresses no probe confirmed.
+type SpoofPositive struct {
+	// PerRound is how many positives are forged per round (default 4).
+	PerRound int
+}
+
+// apply returns the stream with forged records appended to every round.
+func (a *SpoofPositive) apply(seed, obs, block uint64, records []probe.Record) []probe.Record {
+	per := a.PerRound
+	if per <= 0 {
+		per = 4
+	}
+	if len(records) == 0 {
+		return records
+	}
+	out := make([]probe.Record, 0, len(records)+per*(len(records)/2+1))
+	var pool [256]uint8
+	for ri, i := uint64(0), 0; i < len(records); ri++ {
+		j := i + 1
+		for j < len(records) && records[j].T == records[i].T {
+			j++
+		}
+		out = append(out, records[i:j]...)
+		var probed [256]bool
+		for _, r := range records[i:j] {
+			probed[r.Addr] = true
+		}
+		n := 0
+		for addr := 0; addr < 256; addr++ {
+			if !probed[addr] {
+				pool[n] = uint8(addr)
+				n++
+			}
+		}
+		for k := 0; k < per && n > 0; k++ {
+			idx := int(netsim.HashUnit(seed, obs, block, ri, uint64(k), saltSpoof) * float64(n))
+			if idx >= n {
+				idx = n - 1
+			}
+			out = append(out, probe.Record{T: records[i].T, Addr: pool[idx], Up: true})
+		}
+		i = j
+	}
+	return out
+}
+
+// AttackNames lists the Byzantine attack scenarios AttackPlan builds, in
+// the order the byzantine experiment runs them.
+var AttackNames = []string{"ratelimit", "dupflood", "replay", "timelie", "spoof"}
+
+// AttackPlan builds a plan where the last observer mounts the named
+// attack at the given severity in (0, 1]; every other observer is honest.
+// Severity scales the attack's aggressiveness: the rate-limit cliff
+// lowers, flood/replay/shift probabilities and forgery counts rise.
+func AttackPlan(observers int, attack string, severity float64, seed uint64) (*Plan, error) {
+	if observers < 1 {
+		return nil, fmt.Errorf("faults: attack plan needs at least one observer")
+	}
+	if severity <= 0 {
+		severity = 1
+	}
+	if severity > 1 {
+		severity = 1
+	}
+	p := &Plan{Seed: seed, PerObserver: make([]ObserverFaults, observers)}
+	liar := &p.PerObserver[observers-1]
+	switch attack {
+	case "ratelimit":
+		liar.RateLimit = &RateLimitCliff{MaxUp: int((1 - severity) * 3)}
+	case "dupflood":
+		liar.DupFlood = &DuplicateFlood{Prob: severity, Copies: 1 + int(severity*5)}
+	case "replay":
+		liar.Replay = &StaleReplay{Prob: severity}
+	case "timelie":
+		liar.TimeLie = &TimestampLie{Prob: severity}
+	case "spoof":
+		liar.Spoof = &SpoofPositive{PerRound: 1 + int(severity*5)}
+	default:
+		return nil, fmt.Errorf("faults: unknown attack %q", attack)
+	}
+	return p, nil
+}

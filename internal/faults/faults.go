@@ -1,32 +1,5 @@
-// Package faults models realistic measurement-plane failures and injects
-// them into the probing substrate. The paper's measurement plane is shaped
-// by exactly these pathologies: congestive probe loss motivates 1-loss
-// repair (§3.3), and unsynchronized, occasionally broken observers
-// motivate the cross-observer check that discarded sites c and g in 2020
-// (§2.7). Four fault families are modeled:
-//
-//   - Downtime: an observer goes completely dark for a window (failed
-//     hardware), producing no records at all.
-//   - GilbertElliott: bursty link loss from a two-state Markov channel,
-//     layered on top of the smooth diurnal probe.LossModel.
-//   - ClockSkew: a constant offset plus per-day drift on an observer's
-//     record timestamps (observers "start independently and run
-//     unsynchronized", §2.7 — broken NTP makes that pathological).
-//   - Corruption: the record pipeline duplicates, reorders, or truncates
-//     whole batches of records (a crashed collector replaying or losing
-//     its buffer).
-//   - Stall: a block's collector hangs for a fixed delay before
-//     delivering (an overloaded or wedged collector) — the straggler the
-//     pipeline's hedged re-dispatch exists to outrun.
-//   - Flap: an observer's stream goes empty over a window of collection
-//     calls — mid-run degradation that a one-shot pre-scan cannot see,
-//     exercising the runtime circuit breakers.
-//
-// Engine wraps a probe.Engine and applies a Plan of these faults; it
-// satisfies core.Prober, so a faulty engine drops into the analysis
-// pipeline unchanged. Everything is deterministic for a fixed Plan seed
-// (stalls additionally depend on wall time, unless a fake Clock is
-// injected).
+// Observer and collection faults applied by Engine. See doc.go for the
+// package-wide injector catalog and determinism guarantees.
 package faults
 
 import (
@@ -191,6 +164,17 @@ type ObserverFaults struct {
 	Clock *ClockSkew
 	// Corrupt, when non-nil, mangles the observer's record stream.
 	Corrupt *Corruption
+	// RateLimit, when non-nil, caps positive replies per time window —
+	// the observer lies "down" above the cliff (see attacks.go).
+	RateLimit *RateLimitCliff
+	// DupFlood, when non-nil, re-emits probing rounds several times over.
+	DupFlood *DuplicateFlood
+	// Replay, when non-nil, re-emits previous rounds' records verbatim.
+	Replay *StaleReplay
+	// TimeLie, when non-nil, shifts whole rounds out of the window.
+	TimeLie *TimestampLie
+	// Spoof, when non-nil, forges positives for never-probed addresses.
+	Spoof *SpoofPositive
 }
 
 // down reports whether the observer is inside any downtime window at t.
@@ -386,6 +370,26 @@ func (e *Engine) CollectInto(ctx context.Context, b *netsim.Block, start, end in
 		}
 		if f.Corrupt != nil {
 			bufs[oi] = f.Corrupt.apply(e.planSeed(), uint64(oi), uint64(b.ID), bufs[oi])
+		}
+		// Data attacks apply after the failure faults: a lying observer
+		// lies about whatever its (possibly already degraded) collection
+		// produced. RateLimit first (it edits states in place), then the
+		// record-adding attacks, then the timestamp lie last so replayed
+		// and spoofed records are shifted along with their rounds.
+		if f.RateLimit != nil {
+			f.RateLimit.apply(bufs[oi])
+		}
+		if f.Replay != nil {
+			bufs[oi] = f.Replay.apply(e.planSeed(), uint64(oi), uint64(b.ID), bufs[oi])
+		}
+		if f.Spoof != nil {
+			bufs[oi] = f.Spoof.apply(e.planSeed(), uint64(oi), uint64(b.ID), bufs[oi])
+		}
+		if f.DupFlood != nil {
+			bufs[oi] = f.DupFlood.apply(e.planSeed(), uint64(oi), uint64(b.ID), bufs[oi])
+		}
+		if f.TimeLie != nil {
+			f.TimeLie.apply(e.planSeed(), uint64(oi), uint64(b.ID), bufs[oi])
 		}
 	}
 	if e.Plan != nil {

@@ -1,0 +1,83 @@
+package health
+
+import "testing"
+
+// TestBreakerHalfOpenRetripOnAgreementSamples drives a tracker with the
+// integrity firewall's sample shape — gated blocks feed {0, 1}, merged
+// blocks feed {Matches, Comparisons} — and checks the full trip cycle: a
+// persistently gated observer opens, cools down into half-open
+// probation, keeps failing, and re-opens instead of being readmitted.
+func TestBreakerHalfOpenRetripOnAgreementSamples(t *testing.T) {
+	cfg := BreakerConfig{MinSamples: 4, Cooldown: 6, Probation: 3}
+	tr := NewTracker(cfg)
+	feed := func(n int, liar Sample) {
+		for i := 0; i < n; i++ {
+			tr.ObserveBlock([]Sample{{12, 12}, {11, 12}, {12, 12}, liar})
+		}
+	}
+
+	// Gated blocks: the firewall reports {0, 1} for the liar.
+	feed(cfg.MinSamples, Sample{0, 1})
+	if got := tr.States()[3]; got != Open {
+		t.Fatalf("after %d gated blocks observer 3 is %s, want open", cfg.MinSamples, got)
+	}
+
+	// Cooldown elapses while the liar is excluded (no sample for it).
+	feed(cfg.Cooldown, Sample{0, 0})
+	if got := tr.States()[3]; got != HalfOpen {
+		t.Fatalf("after cooldown observer 3 is %s, want half-open", got)
+	}
+
+	// Probation blocks still disagree: low agreement {2, 12} per block.
+	feed(cfg.Probation, Sample{2, 12})
+	if got := tr.States()[3]; got != Open {
+		t.Fatalf("after failed probation observer 3 is %s, want open again", got)
+	}
+
+	var cycle []State
+	for _, tran := range tr.Transitions() {
+		if tran.Observer == 3 {
+			cycle = append(cycle, tran.To)
+		}
+	}
+	want := []State{Open, HalfOpen, Open}
+	if len(cycle) != len(want) {
+		t.Fatalf("observer 3 transitions %v, want %v", cycle, want)
+	}
+	for i := range want {
+		if cycle[i] != want[i] {
+			t.Fatalf("observer 3 transitions %v, want %v", cycle, want)
+		}
+	}
+
+	// The honest observers never move.
+	for i, s := range tr.States()[:3] {
+		if s != Closed {
+			t.Errorf("honest observer %d is %s, want closed", i, s)
+		}
+	}
+}
+
+// TestBreakerReadmitsRecoveredAgreement is the happy half of the cycle:
+// an observer whose agreement recovers during probation is readmitted.
+func TestBreakerReadmitsRecoveredAgreement(t *testing.T) {
+	// A fast EWMA lets the score rebound within one short probation; the
+	// default Alpha would need several cooldown/probation cycles.
+	cfg := BreakerConfig{Alpha: 0.9, MinSamples: 4, Cooldown: 6, Probation: 3}
+	tr := NewTracker(cfg)
+	feed := func(n int, liar Sample) {
+		for i := 0; i < n; i++ {
+			tr.ObserveBlock([]Sample{{12, 12}, {11, 12}, {12, 12}, liar})
+		}
+	}
+	feed(cfg.MinSamples, Sample{0, 1})
+	feed(cfg.Cooldown, Sample{0, 0})
+	if got := tr.States()[3]; got != HalfOpen {
+		t.Fatalf("observer 3 is %s, want half-open", got)
+	}
+	// Recovered: perfect agreement through probation.
+	feed(cfg.Probation, Sample{12, 12})
+	if got := tr.States()[3]; got != Closed {
+		t.Fatalf("after recovered probation observer 3 is %s, want closed", got)
+	}
+}

@@ -1,0 +1,339 @@
+// Package integrity is the data-quality firewall between observer
+// collection and reconstruction: per-observer, per-block sanity gates
+// plus a cross-observer agreement score that together decide whether an
+// observer's stream can be trusted in this block's merge.
+//
+// PRs 1–9 hardened the pipeline against observers that fail — downtime,
+// stalls, crashes, torn disks. This package hardens it against
+// observers that lie: rate-limited, spoofed, duplicated, or replayed
+// replies are well-formed records of wrong facts, invisible to crash
+// containment and checksums. The defense is the paper's own §2.7
+// insight turned adversarial: nearby vantage points share signal, so an
+// observer whose stream violates basic physics (timestamps outside the
+// collection window, addresses outside the target list E(b), duplicate
+// observations) or contradicts its peers on the windows they overlap is
+// excluded from the merge for that block, and the verdict is attributed
+// in the run report.
+//
+// Check is pure: it judges streams and returns verdicts without
+// mutating anything. Callers (core's integrity prober, the streaming
+// daemon's per-round gate) zero the gated streams themselves.
+package integrity
+
+import (
+	"math/bits"
+	"sort"
+
+	"github.com/diurnalnet/diurnal/internal/probe"
+)
+
+// Config holds the firewall's gate ceilings. The zero value takes the
+// defaults; every ceiling is a fraction of the observer's own records.
+type Config struct {
+	// BucketSeconds is the cross-observer agreement granularity:
+	// observations of the same address within the same aligned bucket
+	// are treated as overlapping and compared (default 3600).
+	// Unsynchronized observers never share exact timestamps, so the
+	// agreement check needs a coarser notion of "the same time".
+	BucketSeconds int64
+	// MaxOutOfWindow is the ceiling on the fraction of records
+	// timestamped outside the collection window (default 0.05).
+	MaxOutOfWindow float64
+	// MaxNonMember is the ceiling on the fraction of records naming
+	// addresses outside the block's target list E(b) (default 0.02).
+	// Honest observers probe only E(b), so the honest rate is zero.
+	MaxNonMember float64
+	// MaxDuplicate is the ceiling on the fraction of records repeating
+	// an exact (time, addr) observation already in the stream
+	// (default 0.05).
+	MaxDuplicate float64
+	// MaxRateDelta is the relative reply-rate shortfall versus the
+	// leave-one-out peer median before an observer is suspect (default
+	// 0.5): a stream whose positives were rate-limited away answers
+	// markedly less than its peers over the same block. The default is
+	// deliberately loose — honest observers on unlucky probing phases
+	// run noticeably below the median in sparse blocks, and a false
+	// accusation costs real coverage. The gate needs at least three
+	// judged streams — with fewer there is no median to deviate from.
+	MaxRateDelta float64
+	// MinAgreement is the floor on the cross-observer agreement score
+	// (matching votes / compared votes) before an observer is suspect
+	// (default 0.5).
+	MinAgreement float64
+	// MinOverlap is the minimum number of compared votes before the
+	// agreement gate may fire (default 12) — two observers that barely
+	// overlap say nothing about each other.
+	MinOverlap int
+	// MinRecords is the minimum stream size before a stream is judged
+	// at all (default 32): a handful of records has no stable rates.
+	MinRecords int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BucketSeconds <= 0 {
+		c.BucketSeconds = 3600
+	}
+	if c.MaxOutOfWindow <= 0 {
+		c.MaxOutOfWindow = 0.05
+	}
+	if c.MaxNonMember <= 0 {
+		c.MaxNonMember = 0.02
+	}
+	if c.MaxDuplicate <= 0 {
+		c.MaxDuplicate = 0.05
+	}
+	if c.MaxRateDelta <= 0 {
+		c.MaxRateDelta = 0.5
+	}
+	if c.MinAgreement <= 0 {
+		c.MinAgreement = 0.5
+	}
+	if c.MinOverlap <= 0 {
+		c.MinOverlap = 12
+	}
+	if c.MinRecords <= 0 {
+		c.MinRecords = 32
+	}
+	return c
+}
+
+// Verdict is one observer's judgment for one block.
+type Verdict struct {
+	// Observer is the engine observer index the verdict is about.
+	Observer int
+	// Records is the stream's record count.
+	Records int
+	// OutOfWindow, NonMember, and Duplicates count the records each
+	// sanity gate flagged.
+	OutOfWindow, NonMember, Duplicates int
+	// ReplyRate is the stream's positive-reply fraction; PeerRate is
+	// the leave-one-out median of the other judged streams (zero when
+	// fewer than three streams were judged).
+	ReplyRate, PeerRate float64
+	// Matches and Comparisons are the cross-observer agreement tally:
+	// of the (bucket, addr) votes this observer shares with a peer
+	// majority, how many agree.
+	Matches, Comparisons int
+	// Suspect marks a stream that tripped at least one gate; Gated
+	// marks a suspect stream actually excluded from the merge (never
+	// every stream at once — with no honest reference the firewall
+	// cannot tell who is lying and keeps them all).
+	Suspect, Gated bool
+	// Reason names the first gate the stream tripped ("" when clean):
+	// out-of-window, non-member, duplicates, reply-rate, disagreement.
+	Reason string
+}
+
+// AgreementScore returns matches/comparisons, or 1 when the observer
+// overlapped no peer (no evidence of disagreement).
+func (v *Verdict) AgreementScore() float64 {
+	if v.Comparisons == 0 {
+		return 1
+	}
+	return float64(v.Matches) / float64(v.Comparisons)
+}
+
+// votes is one observer's per-bucket voting record: a bit per address
+// for "voted at all" and "last vote was up". The last observation of an
+// address within a bucket wins, mirroring Reconstruct's accumulator.
+type votes struct {
+	voted, up [4]uint64
+}
+
+func (v *votes) set(addr uint8, isUp bool) {
+	w, b := addr>>6, uint64(1)<<(addr&63)
+	v.voted[w] |= b
+	if isUp {
+		v.up[w] |= b
+	} else {
+		v.up[w] &^= b
+	}
+}
+
+func (v *votes) get(addr uint8) (voted, isUp bool) {
+	w, b := addr>>6, uint64(1)<<(addr&63)
+	return v.voted[w]&b != 0, v.up[w]&b != 0
+}
+
+// Check judges each observer's raw record stream for one block against
+// the collection window [start, end) and the target list eb, and
+// returns one verdict per stream. Streams shorter than MinRecords are
+// never judged (their verdicts stay clean), and when every judged
+// stream is suspect none is gated. perObs is not modified.
+func Check(c Config, perObs [][]probe.Record, eb []int, start, end int64) []Verdict {
+	c = c.withDefaults()
+	out := make([]Verdict, len(perObs))
+	var member [256]bool
+	for _, a := range eb {
+		if a >= 0 && a < 256 {
+			member[a] = true
+		}
+	}
+
+	// Per-stream sanity tallies and per-bucket votes. Votes only count
+	// in-window member records — a record both gates reject must not
+	// also poison the agreement comparison.
+	perBucket := make([]map[int64]*votes, len(perObs))
+	judged := 0
+	for oi, records := range perObs {
+		v := &out[oi]
+		v.Observer = oi
+		v.Records = len(records)
+		if len(records) < c.MinRecords {
+			continue
+		}
+		judged++
+		seen := make(map[uint64]struct{}, len(records))
+		buckets := map[int64]*votes{}
+		up := 0
+		for _, r := range records {
+			if r.Up {
+				up++
+			}
+			key := uint64(r.T)<<8 | uint64(r.Addr)
+			if _, dup := seen[key]; dup {
+				v.Duplicates++
+			} else {
+				seen[key] = struct{}{}
+			}
+			if r.T < start || r.T >= end {
+				v.OutOfWindow++
+				continue
+			}
+			if !member[r.Addr] {
+				v.NonMember++
+				continue
+			}
+			bk := r.T / c.BucketSeconds
+			bv := buckets[bk]
+			if bv == nil {
+				bv = &votes{}
+				buckets[bk] = bv
+			}
+			bv.set(r.Addr, r.Up)
+		}
+		v.ReplyRate = float64(up) / float64(len(records))
+		perBucket[oi] = buckets
+	}
+
+	// Leave-one-out peer reply-rate medians.
+	rates := make([]float64, 0, judged)
+	for oi := range out {
+		if perBucket[oi] != nil {
+			rates = append(rates, out[oi].ReplyRate)
+		}
+	}
+	peerMedian := func(self float64) float64 {
+		peers := make([]float64, 0, len(rates)-1)
+		removed := false
+		for _, r := range rates {
+			if !removed && r == self {
+				removed = true
+				continue
+			}
+			peers = append(peers, r)
+		}
+		sort.Float64s(peers)
+		return peers[len(peers)/2]
+	}
+
+	// Phase one: the per-stream gates, which need no peer votes. Reason
+	// order puts physical impossibilities before statistical outliers.
+	for oi := range out {
+		v := &out[oi]
+		if perBucket[oi] == nil {
+			continue
+		}
+		n := float64(v.Records)
+		switch {
+		case float64(v.OutOfWindow)/n > c.MaxOutOfWindow:
+			v.Suspect, v.Reason = true, "out-of-window"
+		case float64(v.NonMember)/n > c.MaxNonMember:
+			v.Suspect, v.Reason = true, "non-member"
+		case float64(v.Duplicates)/n > c.MaxDuplicate:
+			v.Suspect, v.Reason = true, "duplicates"
+		default:
+			if judged >= 3 {
+				v.PeerRate = peerMedian(v.ReplyRate)
+				if v.ReplyRate < v.PeerRate*(1-c.MaxRateDelta) {
+					v.Suspect, v.Reason = true, "reply-rate"
+				}
+			}
+		}
+	}
+
+	// Cross-observer agreement: each observer's (bucket, addr) votes
+	// against the majority of its peers' votes on the same pair. Peer
+	// ties say nothing and are skipped. Only streams still credible
+	// after phase one vote in the majorities — a rate-limiting observer
+	// floods the stream with false negatives, and letting those votes
+	// count would tip legitimately-split pairs against honest observers
+	// (the Byzantine frame-up).
+	for oi := range perObs {
+		buckets := perBucket[oi]
+		if buckets == nil {
+			continue
+		}
+		v := &out[oi]
+		for bk, bv := range buckets {
+			for w := 0; w < 4; w++ {
+				rem := bv.voted[w]
+				for rem != 0 {
+					bit := uint8(bits.TrailingZeros64(rem))
+					rem &= rem - 1
+					addr := uint8(w<<6) | bit
+					_, mine := bv.get(addr)
+					peersUp, peersDown := 0, 0
+					for pi, pb := range perBucket {
+						if pi == oi || pb == nil || out[pi].Suspect {
+							continue
+						}
+						pv := pb[bk]
+						if pv == nil {
+							continue
+						}
+						if voted, isUp := pv.get(addr); voted {
+							if isUp {
+								peersUp++
+							} else {
+								peersDown++
+							}
+						}
+					}
+					if peersUp == peersDown {
+						continue
+					}
+					v.Comparisons++
+					if mine == (peersUp > peersDown) {
+						v.Matches++
+					}
+				}
+			}
+		}
+	}
+
+	// Phase two's verdict: a stream that survived the per-stream gates
+	// but contradicts the credible-peer majority too often is suspect.
+	suspects := 0
+	for oi := range out {
+		v := &out[oi]
+		if perBucket[oi] == nil {
+			continue
+		}
+		if !v.Suspect && v.Comparisons >= c.MinOverlap && v.AgreementScore() < c.MinAgreement {
+			v.Suspect, v.Reason = true, "disagreement"
+		}
+		if v.Suspect {
+			suspects++
+		}
+	}
+	if suspects == judged {
+		// Every judged stream is suspect: no honest reference remains,
+		// so the firewall keeps them all rather than guessing.
+		return out
+	}
+	for oi := range out {
+		out[oi].Gated = out[oi].Suspect
+	}
+	return out
+}

@@ -223,9 +223,108 @@ func MergeInto(dst []probe.Record, perObserver [][]probe.Record) []probe.Record 
 		for j < len(s) && s[j].T == bestT {
 			j++
 		}
-		out = append(out, s[h:j]...)
+		out = appendRunDedup(out, s[h:j])
 		heads[best] = j
 	}
+}
+
+// appendRunDedup appends one stream's equal-timestamp run to out,
+// dropping repeats of an address within the run (first observation
+// wins). A healthy prober emits each address at most once per round, so
+// this only fires on corrupt streams — a duplicate-flooded stream
+// re-emitting a round at the same timestamp would otherwise re-enter
+// Reconstruct's state machine once per copy and inflate active-address
+// counts through its last-write-wins accumulator. Runs from different
+// observers are never collapsed here; cross-observer repeats are
+// ResolveContested's job.
+func appendRunDedup(out, run []probe.Record) []probe.Record {
+	// Adaptive probing keeps runs short (a round stops at its first
+	// positive), so a quadratic duplicate scan with an early exit beats
+	// clearing a [256]bool per run; the array path below runs only on
+	// streams already known corrupt.
+	dup := false
+scan:
+	for i := 1; i < len(run); i++ {
+		for k := 0; k < i; k++ {
+			if run[k].Addr == run[i].Addr {
+				dup = true
+				break scan
+			}
+		}
+	}
+	if !dup {
+		return append(out, run...)
+	}
+	var seen [256]bool
+	for _, r := range run {
+		if seen[r.Addr] {
+			continue
+		}
+		seen[r.Addr] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+// ResolveContested resolves cross-observer disagreements in a merged,
+// time-ordered stream: when several observers report the same (time,
+// addr) pair, the majority response wins instead of the stream-order
+// last write that Reconstruct's accumulator would otherwise trust, and
+// the pair collapses to a single record (at its first occurrence's
+// position). Ties keep the first report's state. The compaction is in
+// place; a stream with no repeated (time, addr) pairs — every merge of
+// healthy observers, whose unsynchronized rounds never share timestamps
+// — passes through bit-identical, which is what keeps the robust merge
+// mode a no-op on clean worlds.
+func ResolveContested(merged []probe.Record) []probe.Record {
+	out := merged[:0]
+	for i := 0; i < len(merged); {
+		j := i + 1
+		for j < len(merged) && merged[j].T == merged[i].T {
+			j++
+		}
+		run := merged[i:j]
+		contested := false
+	scan:
+		for a := 1; a < len(run); a++ {
+			for b := 0; b < a; b++ {
+				if run[b].Addr == run[a].Addr {
+					contested = true
+					break scan
+				}
+			}
+		}
+		if !contested {
+			// In-place forward copy: the write index never passes the
+			// read index, and copy's memmove semantics handle overlap.
+			out = append(out, run...)
+			i = j
+			continue
+		}
+		var total, up [256]int32
+		for _, r := range run {
+			total[r.Addr]++
+			if r.Up {
+				up[r.Addr]++
+			}
+		}
+		var done [256]bool
+		for _, r := range run {
+			if done[r.Addr] {
+				continue
+			}
+			done[r.Addr] = true
+			rec := r
+			if up[r.Addr]*2 > total[r.Addr] {
+				rec.Up = true
+			} else if up[r.Addr]*2 < total[r.Addr] {
+				rec.Up = false
+			}
+			out = append(out, rec)
+		}
+		i = j
+	}
+	return out
 }
 
 // Series is a reconstructed active-address count over time: one point per

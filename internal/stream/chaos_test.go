@@ -26,6 +26,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/diurnalnet/diurnal/internal/dataset"
 	"github.com/diurnalnet/diurnal/internal/faults"
 )
 
@@ -43,7 +44,14 @@ func soakOneSeed(t *testing.T, seed int64, blocks int) {
 	f := testFeeder(t, eng, world, cfg)
 
 	refEvents, refFP := runStream(t, t.TempDir(), world, f, cfg)
+	soakKillLoop(t, seed, world, f, cfg, refEvents, refFP)
+}
 
+// soakKillLoop replays the feeder into daemon incarnations killed at
+// seeded-random points until the stream completes, checking the journal
+// prefix and final-fingerprint invariants against the reference run.
+func soakKillLoop(t *testing.T, seed int64, world []*dataset.WorldBlock, f *Feeder, cfg Config, refEvents []Event, refFP string) {
+	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	dir := t.TempDir()
 	ctx := context.Background()

@@ -8,12 +8,14 @@ package stream
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/diurnalnet/diurnal/internal/changepoint"
 	"github.com/diurnalnet/diurnal/internal/core"
 	"github.com/diurnalnet/diurnal/internal/dataset"
 	"github.com/diurnalnet/diurnal/internal/dsp"
 	"github.com/diurnalnet/diurnal/internal/geo"
+	"github.com/diurnalnet/diurnal/internal/integrity"
 	"github.com/diurnalnet/diurnal/internal/netsim"
 	"github.com/diurnalnet/diurnal/internal/probe"
 	"github.com/diurnalnet/diurnal/internal/stl"
@@ -73,14 +75,63 @@ type detector struct {
 	blocks    []*blockState
 	sc        *core.Scratch
 	copyBufs  [][]probe.Record
-	processed int64 // rounds fully processed
+	integ     *integrityAgg // nil unless Core.Integrity
+	processed int64         // rounds fully processed
 	refreshes int64
 	blockErrs int64
 	nextEvent int64
 }
 
+// integrityAgg accumulates the per-round firewall verdicts: the detector
+// gates each round's per-block streams before they reach the
+// accumulator, so a lying observer never contaminates a refresh's merge,
+// and the final report attributes who was gated and why. Replay rebuilds
+// the same aggregates — Check is pure and rounds are replayed in order.
+type integrityAgg struct {
+	matches, compares []int64
+	gatedRounds       []int64
+	// first maps (block, observer) to the first gate reason seen, so the
+	// report carries one attributed verdict per gated stream rather than
+	// one per round.
+	first map[[2]int]string
+}
+
+// gate judges one block's round streams and returns the streams with the
+// gated ones dropped. perObs is never mutated: a copy-on-write slice
+// protects the caller's round (it may still be journaled or retried).
+func (g *integrityAgg) gate(b int, bs *blockState, perObs [][]probe.Record, start, end int64) [][]probe.Record {
+	verdicts := integrity.Check(integrity.Config{}, perObs, bs.eb, start, end)
+	kept, copied := perObs, false
+	for oi := range verdicts {
+		v := &verdicts[oi]
+		g.matches[oi] += int64(v.Matches)
+		g.compares[oi] += int64(v.Comparisons)
+		if !v.Gated {
+			continue
+		}
+		if !copied {
+			kept, copied = append([][]probe.Record(nil), perObs...), true
+		}
+		kept[oi] = nil
+		g.gatedRounds[oi]++
+		key := [2]int{b, oi}
+		if _, ok := g.first[key]; !ok {
+			g.first[key] = v.Reason
+		}
+	}
+	return kept
+}
+
 func newDetector(cfg Config, world []*dataset.WorldBlock, obsCount int) *detector {
 	d := &detector{cfg: cfg, obsCount: obsCount, sc: core.NewScratch()}
+	if cfg.Core.Integrity {
+		d.integ = &integrityAgg{
+			matches:     make([]int64, obsCount),
+			compares:    make([]int64, obsCount),
+			gatedRounds: make([]int64, obsCount),
+			first:       map[[2]int]string{},
+		}
+	}
 	bins := dsp.DiurnalBins(slidingWindowHours, 3600, float64(netsim.SecondsPerDay), 3)
 	for _, wb := range world {
 		bs := &blockState{
@@ -128,6 +179,9 @@ func (d *detector) ingest(r *Round) ([]Event, error) {
 	}
 	for b, perObs := range r.Blocks {
 		bs := d.blocks[b]
+		if d.integ != nil {
+			perObs = d.integ.gate(b, bs, perObs, r.Start, r.End)
+		}
 		for o, recs := range perObs {
 			bs.acc[o] = append(bs.acc[o], recs...)
 		}
@@ -383,8 +437,48 @@ func (d *detector) result() (*core.WorldResult, error) {
 	for _, bs := range d.blocks {
 		wr.Blocks = append(wr.Blocks, core.BlockOutcome{ID: bs.id, Place: bs.place, Analysis: bs.last})
 	}
+	if d.integ != nil {
+		d.integ.report(wr.Report, d.blocks)
+	}
 	wr.Reaggregate()
 	return wr, nil
+}
+
+// report fills the run report's firewall fields from the round-by-round
+// aggregates, mirroring the batch pipeline's attribution: gated
+// observers ascending, per-observer aggregate agreement, and one verdict
+// per gated (block, observer) pair in world order.
+func (g *integrityAgg) report(rep *core.RunReport, blocks []*blockState) {
+	for oi, n := range g.gatedRounds {
+		if n > 0 {
+			rep.GatedStreams = append(rep.GatedStreams, oi)
+		}
+	}
+	if len(g.compares) > 0 {
+		rep.AgreementScores = make([]float64, len(g.compares))
+		for oi := range g.compares {
+			if g.compares[oi] == 0 {
+				rep.AgreementScores[oi] = 1
+			} else {
+				rep.AgreementScores[oi] = float64(g.matches[oi]) / float64(g.compares[oi])
+			}
+		}
+	}
+	keys := make([][2]int, 0, len(g.first))
+	for k := range g.first {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		rep.IntegrityVerdicts = append(rep.IntegrityVerdicts, core.IntegrityVerdict{
+			Index: k[0], Block: blocks[k[0]].id, Observer: k[1], Reason: g.first[k],
+		})
+	}
 }
 
 // scores snapshots every block's sliding diurnal score.
